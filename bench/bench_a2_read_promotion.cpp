@@ -1,0 +1,70 @@
+// A2 (ablation/extension) — read promotion: after the buffer has lost its
+// copy (restart/eviction), repeated reads of a hot input either keep paying
+// the Lustre price (promotion off — the paper's base design) or return to
+// RDMA speed after the first pass (promotion on — buffer as read cache).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace hpcbb;          // NOLINT
+using namespace hpcbb::duration;  // NOLINT
+using hpcbb::bench::Cluster;
+using sim::SimTime;
+using sim::Task;
+
+std::vector<double> run_case(bool promote, int passes) {
+  cluster::ClusterConfig config =
+      hpcbb::bench::default_config(bb::Scheme::kAsync);
+  config.bb_promote_on_read = promote;
+  Cluster cluster(config);
+  std::vector<double> pass_mbps;
+  hpcbb::bench::run_to_completion(
+      cluster, [](Cluster& c, int n_passes,
+                  std::vector<double>& out) -> Task<void> {
+        const auto kind = cluster::FsKind::kBurstBuffer;
+        mapred::DfsioParams params;
+        params.files = 8;
+        params.file_size = 32 * MiB;
+        auto write_result = co_await mapred::dfsio_write(
+            c.filesystem(kind), c.hub_for(kind), c.compute_nodes(), params);
+        if (!write_result.is_ok()) co_return;
+        co_await c.bb_master().wait_all_flushed();
+        // Cold buffer: restart the KV tier (contents gone, Lustre has all).
+        for (std::uint32_t i = 0; i < c.kv_server_count(); ++i) {
+          c.kv_server(i).crash();
+          c.kv_server(i).restart();
+        }
+        for (int pass = 0; pass < n_passes; ++pass) {
+          auto read_result = co_await mapred::dfsio_read(
+              c.filesystem(kind), c.hub_for(kind), c.compute_nodes(), params);
+          if (!read_result.is_ok()) co_return;
+          out.push_back(read_result.value().aggregate_mbps);
+          co_await c.sim().delay(50 * ms);  // let promotions land
+        }
+      }(cluster, passes, pass_mbps));
+  return pass_mbps;
+}
+
+}  // namespace
+
+int main() {
+  using hpcbb::bench::print_header;
+  print_header("A2 (ablation)",
+               "read promotion: repeated reads of a cold (flushed) dataset",
+               "with promotion the second pass returns to buffer speed");
+
+  constexpr int kPasses = 3;
+  std::printf("\n%-16s", "mode");
+  for (int p = 1; p <= kPasses; ++p) std::printf("   pass%d MB/s", p);
+  std::printf("\n");
+  for (const bool promote : {false, true}) {
+    const std::vector<double> mbps = run_case(promote, kPasses);
+    std::printf("%-16s", promote ? "promotion ON" : "promotion OFF");
+    for (const double m : mbps) std::printf("   %10.0f", m);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// F10 — weak scaling: aggregate DFSIO write/read throughput as the cluster
+// grows, fixed data per node. The burst-buffer advantage must hold (or
+// grow) with scale, since the KV tier scales with the cluster while Lustre
+// stays fixed.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace hpcbb;          // NOLINT
+using hpcbb::bench::Cluster;
+using hpcbb::bench::SystemCase;
+using sim::Task;
+
+struct ScalingPoint {
+  double write_mbps = 0;
+  double read_mbps = 0;
+};
+
+ScalingPoint run_case(const SystemCase& system, std::uint32_t nodes,
+                      std::uint64_t bytes_per_node) {
+  cluster::ClusterConfig config = hpcbb::bench::default_config(system.scheme);
+  config.compute_nodes = nodes;
+  config.kv_servers = std::max(2u, nodes / 2);  // BB tier scales with nodes
+  Cluster cluster(config);
+  ScalingPoint point;
+  hpcbb::bench::run_to_completion(
+      cluster, [](Cluster& c, cluster::FsKind kind, std::uint64_t per_node,
+                  ScalingPoint& out) -> Task<void> {
+        mapred::DfsioParams params;
+        params.files = static_cast<std::uint32_t>(c.compute_nodes().size());
+        params.file_size = per_node;
+        auto write_result = co_await mapred::dfsio_write(
+            c.filesystem(kind), c.hub_for(kind), c.compute_nodes(), params);
+        if (!write_result.is_ok()) co_return;
+        out.write_mbps = write_result.value().aggregate_mbps;
+        auto read_result = co_await mapred::dfsio_read(
+            c.filesystem(kind), c.hub_for(kind), c.compute_nodes(), params);
+        if (read_result.is_ok()) out.read_mbps = read_result.value().aggregate_mbps;
+      }(cluster, system.kind, bytes_per_node, point));
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  using hpcbb::bench::print_header;
+  print_header("F10", "weak scaling: aggregate MB/s, 64 MiB per node",
+               "BB advantage holds as the cluster grows");
+
+  const std::vector<std::uint32_t> node_counts = {4, 8, 16};
+  const std::vector<hpcbb::bench::SystemCase> systems = {
+      {"HDFS", hpcbb::bench::FsKind::kHdfs, hpcbb::bb::Scheme::kAsync},
+      {"Lustre", hpcbb::bench::FsKind::kLustre, hpcbb::bb::Scheme::kAsync},
+      {"BB-Async", hpcbb::bench::FsKind::kBurstBuffer,
+       hpcbb::bb::Scheme::kAsync},
+  };
+
+  std::printf("\n%-8s", "nodes");
+  for (const auto& system : systems) {
+    std::printf("  %9s-wr %9s-rd", system.label, system.label);
+  }
+  std::printf("\n");
+  for (const std::uint32_t nodes : node_counts) {
+    std::printf("%-8u", nodes);
+    for (const auto& system : systems) {
+      const ScalingPoint point = run_case(system, nodes, 64 * MiB);
+      std::printf("  %12.0f %12.0f", point.write_mbps, point.read_mbps);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

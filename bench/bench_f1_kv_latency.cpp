@@ -1,0 +1,94 @@
+// F1 — KV operation latency: RDMA vs IPoIB vs 10GigE vs 1GigE, set/get
+// latency across value sizes. The enabling microbenchmark of the paper:
+// native-verbs KV ops are roughly an order of magnitude faster than the
+// socket paths for small and mid-size values.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "kvstore/client.h"
+#include "kvstore/server.h"
+
+namespace {
+
+using namespace hpcbb;          // NOLINT
+using namespace hpcbb::duration;  // NOLINT
+using net::NodeId;
+using sim::SimTime;
+using sim::Task;
+
+struct OpLatency {
+  SimTime set_ns = 0;
+  SimTime get_ns = 0;
+};
+
+OpLatency measure(net::TransportKind kind, std::uint64_t value_size) {
+  sim::Simulation sim;
+  net::Fabric fabric(sim, 2, net::FabricParams{});
+  net::Transport transport(fabric, net::transport_preset(kind));
+  net::RpcHub hub(transport);
+  kv::ServerParams server_params;
+  server_params.store.memory_budget = 256 * MiB;
+  kv::Server server(hub, 1, server_params);
+  kv::Client client(hub, 0, {1});
+
+  OpLatency result;
+  sim.spawn([](sim::Simulation& s, kv::Client& c, std::uint64_t size,
+               OpLatency& out) -> Task<void> {
+    // Warm-up op to populate connection-independent state.
+    (void)co_await c.set("warm", make_bytes(Bytes(64, 1)));
+    constexpr int kReps = 20;
+    SimTime set_total = 0, get_total = 0;
+    for (int i = 0; i < kReps; ++i) {
+      const std::string key = "key-" + std::to_string(i);
+      SimTime t0 = s.now();
+      (void)co_await c.set(key, make_bytes(Bytes(size, 0xAA)));
+      set_total += s.now() - t0;
+      t0 = s.now();
+      (void)co_await c.get(key);
+      get_total += s.now() - t0;
+    }
+    out.set_ns = set_total / kReps;
+    out.get_ns = get_total / kReps;
+  }(sim, client, value_size, result));
+  sim.run();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using hpcbb::bench::print_header;
+  print_header("F1", "KV store op latency by transport and value size",
+               "RDMA ops ~an order of magnitude faster than socket paths");
+
+  const std::vector<std::pair<const char*, hpcbb::net::TransportKind>>
+      transports = {{"RDMA", hpcbb::net::TransportKind::kRdma},
+                    {"IPoIB", hpcbb::net::TransportKind::kIpoib},
+                    {"10GigE", hpcbb::net::TransportKind::kTenGigE},
+                    {"1GigE", hpcbb::net::TransportKind::kGigE}};
+  const std::vector<std::uint64_t> sizes = {1 * KiB,  4 * KiB,   16 * KiB,
+                                            64 * KiB, 256 * KiB, 1 * MiB};
+
+  std::printf("\n%-10s", "value");
+  for (const auto& [label, kind] : transports) {
+    std::printf("  %10s-set %10s-get", label, label);
+  }
+  std::printf("   RDMA-get-speedup-vs-IPoIB\n");
+
+  for (const std::uint64_t size : sizes) {
+    std::printf("%-10s", hpcbb::format_bytes(size).c_str());
+    double rdma_get = 0, ipoib_get = 0;
+    for (const auto& [label, kind] : transports) {
+      const OpLatency lat = measure(kind, size);
+      std::printf("  %11.1fus %11.1fus",
+                  static_cast<double>(lat.set_ns) / 1000.0,
+                  static_cast<double>(lat.get_ns) / 1000.0);
+      if (std::string(label) == "RDMA") rdma_get = static_cast<double>(lat.get_ns);
+      if (std::string(label) == "IPoIB") ipoib_get = static_cast<double>(lat.get_ns);
+    }
+    std::printf("   %.1fx\n", hpcbb::bench::ratio(ipoib_get, rdma_get));
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Shared helpers for the figure-reproduction benchmarks. Each binary
+// regenerates one table/figure from the paper's evaluation (DESIGN.md §4):
+// it builds fresh clusters per data point, runs the workload in simulated
+// time, and prints the series the paper reports.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/strings.h"
+#include "common/units.h"
+#include "mapred/workloads.h"
+#include "sim/sync.h"
+
+namespace hpcbb::bench {
+
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using cluster::FsKind;
+
+struct SystemCase {
+  const char* label;
+  FsKind kind;
+  bb::Scheme scheme;
+};
+
+// The paper's comparison set: two baselines and the three proposed schemes.
+inline std::vector<SystemCase> all_systems() {
+  return {
+      {"HDFS", FsKind::kHdfs, bb::Scheme::kAsync},
+      {"Lustre", FsKind::kLustre, bb::Scheme::kAsync},
+      {"BB-Async", FsKind::kBurstBuffer, bb::Scheme::kAsync},
+      {"BB-Sync", FsKind::kBurstBuffer, bb::Scheme::kSync},
+      {"BB-Local", FsKind::kBurstBuffer, bb::Scheme::kLocal},
+  };
+}
+
+inline ClusterConfig default_config(bb::Scheme scheme) {
+  ClusterConfig config;
+  config.scheme = scheme;
+  return config;
+}
+
+// Spawn the task and drive the simulation to quiescence.
+inline void run_to_completion(Cluster& cluster, sim::Task<void> task) {
+  cluster.sim().spawn(std::move(task));
+  cluster.sim().run();
+}
+
+inline void print_header(const char* figure, const char* title,
+                         const char* claim) {
+  std::printf("== %s: %s ==\n", figure, title);
+  std::printf("paper claim: %s\n", claim);
+}
+
+inline double ratio(double a, double b) { return b == 0 ? 0.0 : a / b; }
+
+}  // namespace hpcbb::bench

@@ -1,0 +1,111 @@
+// Checkpoint burst — the paper's motivating scenario. A tightly-coupled
+// HPC application checkpoints from every compute node simultaneously, then
+// computes, then checkpoints again. Compare how long the application stalls
+// when checkpoints go directly to Lustre vs through the RDMA-KV burst
+// buffer (which drains to Lustre during the compute phase).
+//
+//   ./checkpoint_burst [rounds] [mb_per_node]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/strings.h"
+#include "common/units.h"
+#include "sim/sync.h"
+
+namespace {
+
+using namespace hpcbb;          // NOLINT
+using namespace hpcbb::duration;  // NOLINT
+using cluster::Cluster;
+using cluster::FsKind;
+using net::NodeId;
+using sim::SimTime;
+using sim::Task;
+
+struct RoundReport {
+  SimTime checkpoint_stall = 0;
+  SimTime total = 0;
+};
+
+Task<void> one_node_checkpoint(Cluster& c, FsKind kind, NodeId node, int round,
+                               std::uint64_t bytes) {
+  fs::FileSystem& fs = c.filesystem(kind);
+  const std::string path = "/ckpt/round" + std::to_string(round) + "/rank" +
+                           std::to_string(node);
+  auto writer = co_await fs.create(path, node);
+  if (!writer.is_ok()) co_return;
+  for (std::uint64_t off = 0; off < bytes; off += 4 * MiB) {
+    const std::uint64_t len = std::min<std::uint64_t>(4 * MiB, bytes - off);
+    (void)co_await writer.value()->append(
+        make_bytes(pattern_bytes(fnv1a(path), off, len)));
+  }
+  (void)co_await writer.value()->close();
+}
+
+Task<void> application(Cluster& c, FsKind kind, int rounds,
+                       std::uint64_t bytes_per_node, SimTime compute_ns,
+                       std::vector<RoundReport>& out) {
+  for (int round = 0; round < rounds; ++round) {
+    // Synchronous checkpoint: every rank writes, the app waits for all.
+    const SimTime t0 = c.sim().now();
+    std::vector<Task<void>> ranks;
+    for (const NodeId node : c.compute_nodes()) {
+      ranks.push_back(one_node_checkpoint(c, kind, node, round,
+                                          bytes_per_node));
+    }
+    co_await sim::parallel(c.sim(), std::move(ranks));
+    RoundReport report;
+    report.checkpoint_stall = c.sim().now() - t0;
+    // Compute phase (the burst buffer drains to Lustre in the background).
+    co_await c.sim().delay(compute_ns);
+    report.total = c.sim().now() - t0;
+    out.push_back(report);
+  }
+}
+
+void run(FsKind kind, bb::Scheme scheme, int rounds,
+         std::uint64_t bytes_per_node) {
+  cluster::ClusterConfig config;
+  config.scheme = scheme;
+  config.kv_memory_per_server = 512 * MiB;
+  Cluster cluster(config);
+  std::vector<RoundReport> reports;
+  cluster.sim().spawn(application(cluster, kind, rounds, bytes_per_node,
+                                  /*compute_ns=*/10 * sec, reports));
+  cluster.sim().run();
+
+  SimTime total_stall = 0;
+  std::printf("%-10s |", kind == FsKind::kLustre
+                             ? "Lustre"
+                             : std::string(to_string(scheme)).c_str());
+  for (const RoundReport& report : reports) {
+    std::printf("  %9s", format_duration_ns(report.checkpoint_stall).c_str());
+    total_stall += report.checkpoint_stall;
+  }
+  std::printf("  | total stall %s\n", format_duration_ns(total_stall).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 4;
+  const std::uint64_t mb_per_node =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 64;
+  const std::uint64_t bytes_per_node = mb_per_node * MiB;
+
+  std::printf("checkpoint burst: 8 nodes x %llu MiB x %d rounds, 10 s compute "
+              "between bursts\n",
+              static_cast<unsigned long long>(mb_per_node), rounds);
+  std::printf("%-10s |  per-round application stall while checkpointing\n",
+              "system");
+  run(FsKind::kLustre, bb::Scheme::kAsync, rounds, bytes_per_node);
+  run(FsKind::kBurstBuffer, bb::Scheme::kAsync, rounds, bytes_per_node);
+  run(FsKind::kBurstBuffer, bb::Scheme::kSync, rounds, bytes_per_node);
+  run(FsKind::kBurstBuffer, bb::Scheme::kLocal, rounds, bytes_per_node);
+  std::printf("\nThe burst buffer hides the Lustre drain inside the compute "
+              "phase;\nwrite-through (BB-Sync) pays it up front, like Lustre "
+              "itself.\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+#include "burstbuffer/agent.h"
+
+namespace hpcbb::bb {
+
+NodeAgent::NodeAgent(net::RpcHub& hub, net::NodeId node,
+                     const AgentParams& params)
+    : hub_(&hub), node_(node) {
+  device_ = std::make_unique<storage::Device>(
+      hub_->transport().fabric().simulation(),
+      storage::ramdisk_preset(params.ramdisk_bytes));
+  store_ = std::make_unique<storage::LocalStore>(*device_);
+  hub_->bind(node_, kAgentRead, net::typed_handler<AgentReadRequest>([this](
+      auto req) { return handle_read(req); }));
+}
+
+NodeAgent::~NodeAgent() { hub_->unbind(node_, kAgentRead); }
+
+sim::Task<net::RpcResponse> NodeAgent::handle_read(
+    std::shared_ptr<const AgentReadRequest> req) {
+  if (crashed_) {
+    co_return net::rpc_error(error(StatusCode::kUnavailable, "agent down"));
+  }
+  Result<Bytes> data =
+      co_await store_->read(req->object, req->offset, req->length);
+  if (!data.is_ok()) co_return net::rpc_error(data.status());
+  auto reply = std::make_shared<AgentReadReply>();
+  reply->data = make_bytes(std::move(data).value());
+  const std::uint64_t wire = reply->wire_size();
+  co_return net::rpc_ok<AgentReadReply>(std::move(reply), wire);
+}
+
+}  // namespace hpcbb::bb

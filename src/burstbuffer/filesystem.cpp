@@ -1,0 +1,489 @@
+#include "burstbuffer/filesystem.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/crc32c.h"
+#include "sim/sync.h"
+
+namespace hpcbb::bb {
+
+// ---- Writer ----------------------------------------------------------------
+
+class BbWriter final : public fs::Writer {
+ public:
+  BbWriter(BurstBufferFileSystem& bbfs, std::string path, net::NodeId client)
+      : bbfs_(&bbfs),
+        path_(std::move(path)),
+        client_(client),
+        kv_(*bbfs.hub_, client, bbfs.kv_servers_),
+        lustre_(*bbfs.hub_, bbfs.lustre_mds_),
+        window_(bbfs.hub_->transport().fabric().simulation(),
+                bbfs.params_.write_window) {
+    const auto it = bbfs.agents_.find(client);
+    if (bbfs.params_.scheme == Scheme::kLocal && it != bbfs.agents_.end()) {
+      agent_ = it->second;
+    }
+  }
+
+  sim::Task<Status> append(BytesPtr data) override {
+    std::uint64_t offset = 0;
+    const BbFsParams& p = bbfs_->params_;
+    while (offset < data->size()) {
+      if (!block_open_) {
+        if (Status st = co_await start_block(); !st.is_ok()) co_return st;
+      }
+      const std::uint64_t chunk_room =
+          p.chunk_size - (block_bytes_ % p.chunk_size);
+      const std::uint64_t block_room = p.block_size - block_bytes_;
+      const std::uint64_t take =
+          std::min({data->size() - offset, chunk_room, block_room});
+
+      chunk_buf_.insert(
+          chunk_buf_.end(),
+          data->begin() + static_cast<std::ptrdiff_t>(offset),
+          data->begin() + static_cast<std::ptrdiff_t>(offset + take));
+      block_crc_ = crc32c(block_crc_,
+                          data->data() + static_cast<std::ptrdiff_t>(offset),
+                          take);
+      block_bytes_ += take;
+      offset += take;
+
+      if (chunk_buf_.size() == p.chunk_size || block_bytes_ == p.block_size) {
+        if (Status st = co_await emit_chunk(); !st.is_ok()) co_return st;
+      }
+      if (block_bytes_ == p.block_size) {
+        if (Status st = co_await finish_block(); !st.is_ok()) co_return st;
+      }
+    }
+    co_return Status::ok();
+  }
+
+  sim::Task<Status> close() override {
+    if (!chunk_buf_.empty()) {
+      if (Status st = co_await emit_chunk(); !st.is_ok()) co_return st;
+    }
+    if (block_open_) {
+      if (Status st = co_await finish_block(); !st.is_ok()) co_return st;
+    }
+    auto req = std::make_shared<const BbCloseRequest>(
+        BbCloseRequest{path_, total_bytes_});
+    co_return (co_await bbfs_->hub_->call<void>(client_, bbfs_->master_node_,
+                                                kBbClose, req))
+        .status();
+  }
+
+ private:
+  sim::Task<Status> start_block() {
+    auto req = std::make_shared<const BbAddBlockRequest>(
+        BbAddBlockRequest{path_, client_});
+    auto result = co_await bbfs_->hub_->call<BbAddBlockReply>(
+        client_, bbfs_->master_node_, kBbAddBlock, req);
+    if (!result.is_ok()) co_return result.status();
+    block_index_ = result.value()->block_index;
+    block_bytes_ = 0;
+    block_crc_ = 0;
+    next_chunk_ = 0;
+    block_open_ = true;
+    co_return Status::ok();
+  }
+
+  // Ships the buffered chunk through the scheme's write path, windowed.
+  sim::Task<Status> emit_chunk() {
+    assert(!chunk_buf_.empty());
+    const std::uint32_t chunk_index = next_chunk_++;
+    const std::uint64_t chunk_offset =
+        static_cast<std::uint64_t>(chunk_index) * bbfs_->params_.chunk_size;
+    BytesPtr payload = make_bytes(std::move(chunk_buf_));
+    chunk_buf_.clear();
+
+    co_await window_.acquire();
+    bbfs_->hub_->transport().fabric().simulation().spawn(
+        store_chunk(chunk_index, chunk_offset, std::move(payload)));
+    co_return first_error_;
+  }
+
+  sim::Task<void> store_chunk(std::uint32_t chunk_index,
+                              std::uint64_t chunk_offset, BytesPtr payload) {
+    const BbFsParams& p = bbfs_->params_;
+    const std::string key = chunk_key(path_, block_index_, chunk_index);
+    const bool pin = p.scheme != Scheme::kSync;
+
+    // Store into the burst buffer, backing off while it is full of
+    // not-yet-durable data.
+    // All stored chunks are padded to chunk_size so every burst-buffer
+    // value lives in ONE slab class. Mixed classes would calcify: pages
+    // bound to the full-chunk class can never serve a trailing partial
+    // chunk, and class-local LRU could then wedge permanently (memcached's
+    // slab-calcification problem). Readers and the flusher trim by the
+    // block's logical size.
+    BytesPtr stored = payload;
+    if (payload->size() < p.chunk_size) {
+      Bytes padded(*payload);
+      padded.resize(p.chunk_size, 0);
+      stored = make_bytes(std::move(padded));
+    }
+    Status st;
+    sim::Simulation& simref = bbfs_->hub_->transport().fabric().simulation();
+    for (std::uint32_t attempt = 0; attempt < p.store_retry_limit; ++attempt) {
+      st = co_await kv_.set(key, stored, pin);
+      if (st.code() != StatusCode::kResourceExhausted) break;
+      simref.metrics().counter("bb.store.backpressure_retries").add();
+      co_await simref.delay(p.store_retry_backoff_ns);
+    }
+    if (st.is_ok() && agent_ != nullptr) {
+      // BB-Local: second copy on the writer's RAM disk (position-addressed,
+      // chunk stores may complete out of order).
+      st = co_await agent_->store().write_at(
+          local_object(path_, block_index_), chunk_offset, *payload);
+      if (st.code() == StatusCode::kResourceExhausted) {
+        // RAM disk full: degrade to buffer-only for this block (lose the
+        // locality benefit, keep correctness).
+        local_replica_ok_ = false;
+        st = Status::ok();
+      }
+    }
+    if (st.is_ok() && p.scheme == Scheme::kSync) {
+      st = co_await write_through(chunk_offset, std::move(payload));
+    }
+    if (!st.is_ok() && first_error_.is_ok()) first_error_ = st;
+    window_.release();
+  }
+
+  sim::Task<Status> write_through(std::uint64_t chunk_offset,
+                                  BytesPtr payload) {
+    if (!lustre_layout_.has_value()) {
+      auto layout =
+          co_await lustre_.lookup(client_, bbfs_->params_.lustre_prefix + path_);
+      if (!layout.is_ok()) co_return layout.status();
+      lustre_layout_ = std::move(layout).value();
+    }
+    const std::uint64_t file_offset =
+        static_cast<std::uint64_t>(block_index_) * bbfs_->params_.block_size +
+        chunk_offset;
+    co_return co_await lustre_.write(client_, *lustre_layout_, file_offset,
+                                     std::move(payload));
+  }
+
+  sim::Task<Status> finish_block() {
+    // Drain the chunk window before sealing.
+    co_await window_.acquire(bbfs_->params_.write_window);
+    window_.release(bbfs_->params_.write_window);
+    if (!first_error_.is_ok()) co_return first_error_;
+
+    auto req = std::make_shared<BbCompleteBlockRequest>();
+    req->path = path_;
+    req->block_index = block_index_;
+    req->size = block_bytes_;
+    req->crc32c = block_crc_;
+    req->already_durable = bbfs_->params_.scheme == Scheme::kSync;
+    if (agent_ != nullptr && local_replica_ok_) {
+      req->local_node = client_;
+    }
+    total_bytes_ += block_bytes_;
+    block_open_ = false;
+    local_replica_ok_ = true;
+    co_return (co_await bbfs_->hub_->call<void>(
+                   client_, bbfs_->master_node_, kBbCompleteBlock,
+                   std::shared_ptr<const BbCompleteBlockRequest>(
+                       std::move(req))))
+        .status();
+  }
+
+  BurstBufferFileSystem* bbfs_;
+  std::string path_;
+  net::NodeId client_;
+  kv::Client kv_;
+  lustre::LustreClient lustre_;
+  sim::Semaphore window_;
+  NodeAgent* agent_ = nullptr;
+
+  bool block_open_ = false;
+  bool local_replica_ok_ = true;
+  std::uint32_t block_index_ = 0;
+  std::uint32_t next_chunk_ = 0;
+  std::uint64_t block_bytes_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint32_t block_crc_ = 0;
+  Bytes chunk_buf_;
+  std::optional<lustre::FileLayout> lustre_layout_;
+  Status first_error_;
+};
+
+// ---- Reader ----------------------------------------------------------------
+
+class BbReader final : public fs::Reader {
+ public:
+  BbReader(BurstBufferFileSystem& bbfs, std::string path, net::NodeId client,
+           BbLocationsReply meta)
+      : bbfs_(&bbfs),
+        path_(std::move(path)),
+        client_(client),
+        kv_(*bbfs.hub_, client, bbfs.kv_servers_),
+        lustre_(*bbfs.hub_, bbfs.lustre_mds_),
+        meta_(std::move(meta)) {}
+
+  sim::Task<Result<Bytes>> read(std::uint64_t offset,
+                                std::uint64_t length) override {
+    if (offset >= meta_.file_size) {
+      co_return error(StatusCode::kOutOfRange, "read past EOF");
+    }
+    length = std::min(length, meta_.file_size - offset);
+    Bytes out;
+    out.reserve(length);
+    std::uint64_t cursor = offset;
+    const std::uint64_t end = offset + length;
+    while (cursor < end) {
+      const std::uint64_t block_index = cursor / meta_.block_size;
+      const std::uint64_t in_off = cursor % meta_.block_size;
+      const BbBlockInfo& block =
+          meta_.blocks[static_cast<std::size_t>(block_index)];
+      const std::uint64_t take = std::min(end - cursor, block.size - in_off);
+      Result<Bytes> piece = co_await read_block(block, in_off, take);
+      if (!piece.is_ok()) co_return piece.status();
+      out.insert(out.end(), piece.value().begin(), piece.value().end());
+      cursor += take;
+    }
+    co_return out;
+  }
+
+  [[nodiscard]] std::uint64_t size() const override { return meta_.file_size; }
+
+ private:
+  // Read one block's range, preferring: node-local RAM-disk replica, then
+  // the burst buffer (RDMA), then Lustre (after flush/eviction).
+  sim::Task<Result<Bytes>> read_block(const BbBlockInfo& block,
+                                      std::uint64_t offset,
+                                      std::uint64_t length) {
+    // 1. Node-local replica (BB-Local).
+    if (block.local_node.has_value()) {
+      auto req = std::make_shared<const AgentReadRequest>(AgentReadRequest{
+          local_object(path_, block.index), offset, length});
+      auto result = co_await bbfs_->hub_->call<AgentReadReply>(
+          client_, *block.local_node, kAgentRead, req);
+      if (result.is_ok()) {
+        Bytes data(*result.value()->data);
+        if (Status st = validate(block, offset, length, data); !st.is_ok()) {
+          co_return st;
+        }
+        co_return data;
+      }
+    }
+
+    // 2. Burst buffer: fetch the covering chunks in parallel.
+    Result<Bytes> buffered = co_await read_from_buffer(block, offset, length);
+    if (buffered.is_ok()) co_return std::move(buffered).value();
+    if (buffered.code() == StatusCode::kDataLoss) co_return buffered.status();
+
+    // 3. Lustre, once the block is durable there. The location snapshot
+    // may be stale (flush completed after open): refresh once.
+    BlockState state = block.state;
+    if (state != BlockState::kFlushed) {
+      auto fresh = co_await bbfs_->locations(path_, client_);
+      if (fresh.is_ok() &&
+          block.index < fresh.value().blocks.size()) {
+        state = fresh.value().blocks[block.index].state;
+      }
+    }
+    if (state == BlockState::kFlushed) {
+      auto layout = co_await lustre_.lookup(client_, bbfs_->params_.lustre_prefix + path_);
+      if (!layout.is_ok()) co_return layout.status();
+      const std::uint64_t file_offset =
+          static_cast<std::uint64_t>(block.index) * meta_.block_size + offset;
+      Result<Bytes> data = co_await lustre_.read(client_, layout.value(),
+                                                 file_offset, length);
+      if (!data.is_ok()) co_return data.status();
+      if (Status st = validate(block, offset, length, data.value());
+          !st.is_ok()) {
+        co_return st;
+      }
+      if (bbfs_->params_.promote_on_read) {
+        promote(block, offset, data.value());
+      }
+      co_return std::move(data).value();
+    }
+    co_return error(StatusCode::kDataLoss,
+                    "block " + std::to_string(block.index) +
+                        " unavailable in buffer and not yet durable");
+  }
+
+  sim::Task<Result<Bytes>> read_from_buffer(const BbBlockInfo& block,
+                                            std::uint64_t offset,
+                                            std::uint64_t length) {
+    const std::uint64_t chunk_size = bbfs_->params_.chunk_size;
+    const std::uint32_t first =
+        static_cast<std::uint32_t>(offset / chunk_size);
+    const std::uint32_t last =
+        static_cast<std::uint32_t>((offset + length - 1) / chunk_size);
+
+    std::vector<sim::Task<Result<BytesPtr>>> gets;
+    for (std::uint32_t c = first; c <= last; ++c) {
+      gets.push_back(kv_.get(chunk_key(path_, block.index, c)));
+    }
+    std::vector<Result<BytesPtr>> pieces = co_await sim::parallel_collect(
+        bbfs_->hub_->transport().fabric().simulation(), std::move(gets));
+
+    Bytes assembled;
+    assembled.reserve(static_cast<std::size_t>(last - first + 1) * chunk_size);
+    for (auto& piece : pieces) {
+      if (!piece.is_ok()) co_return piece.status();  // miss or server down
+      assembled.insert(assembled.end(), piece.value()->begin(),
+                       piece.value()->end());
+    }
+    const std::uint64_t skip = offset - first * chunk_size;
+    if (skip + length > assembled.size()) {
+      co_return error(StatusCode::kInternal, "short buffer read");
+    }
+    Bytes out(assembled.begin() + static_cast<std::ptrdiff_t>(skip),
+              assembled.begin() + static_cast<std::ptrdiff_t>(skip + length));
+    if (Status st = validate(block, offset, length, out); !st.is_ok()) {
+      co_return st;
+    }
+    co_return out;
+  }
+
+  // Read promotion: push the complete chunks covered by this Lustre read
+  // back into the buffer, detached and unpinned (pure cache data — safe to
+  // evict, already durable). The next reader hits RDMA speed again.
+  void promote(const BbBlockInfo& block, std::uint64_t offset,
+               const Bytes& data) {
+    const std::uint64_t chunk = bbfs_->params_.chunk_size;
+    const std::uint64_t end = offset + data.size();
+    std::uint32_t c = static_cast<std::uint32_t>(
+        (offset + chunk - 1) / chunk);  // first chunk fully covered
+    for (;; ++c) {
+      const std::uint64_t c_start = static_cast<std::uint64_t>(c) * chunk;
+      const std::uint64_t c_end =
+          std::min(c_start + chunk, block.size);  // block tail is short
+      if (c_start >= end || c_end > end) break;
+      Bytes payload(data.begin() + static_cast<std::ptrdiff_t>(c_start - offset),
+                    data.begin() + static_cast<std::ptrdiff_t>(c_end - offset));
+      payload.resize(chunk, 0);  // uniform slab class (see store_chunk)
+      bbfs_->hub_->transport().fabric().simulation().spawn(promote_chunk(
+          bbfs_, client_, chunk_key(path_, block.index, c),
+          make_bytes(std::move(payload))));
+      if (c_end == block.size) break;
+    }
+  }
+
+  static sim::Task<void> promote_chunk(BurstBufferFileSystem* bbfs,
+                                       net::NodeId client, std::string key,
+                                       BytesPtr payload) {
+    kv::Client kv(*bbfs->hub_, client, bbfs->kv_servers_);
+    (void)co_await kv.set(std::move(key), std::move(payload),
+                          /*pinned=*/false);
+  }
+
+  // End-to-end checksum on full-block reads.
+  static Status validate(const BbBlockInfo& block, std::uint64_t offset,
+                         std::uint64_t length, const Bytes& data) {
+    if (offset == 0 && length == block.size && crc32c(data) != block.crc32c) {
+      return error(StatusCode::kDataLoss,
+                   "checksum mismatch on block " + std::to_string(block.index));
+    }
+    return Status::ok();
+  }
+
+  BurstBufferFileSystem* bbfs_;
+  std::string path_;
+  net::NodeId client_;
+  kv::Client kv_;
+  lustre::LustreClient lustre_;
+  BbLocationsReply meta_;
+};
+
+// ---- FileSystem ------------------------------------------------------------
+
+BurstBufferFileSystem::BurstBufferFileSystem(
+    net::RpcHub& hub, net::NodeId master_node,
+    std::vector<net::NodeId> kv_servers, net::NodeId lustre_mds,
+    std::map<net::NodeId, NodeAgent*> agents, const BbFsParams& params)
+    : hub_(&hub),
+      master_node_(master_node),
+      kv_servers_(std::move(kv_servers)),
+      lustre_mds_(lustre_mds),
+      agents_(std::move(agents)),
+      params_(params) {}
+
+sim::Task<Result<BbLocationsReply>> BurstBufferFileSystem::locations(
+    const std::string& path, net::NodeId client) {
+  auto req = std::make_shared<const BbLocationsRequest>(
+      BbLocationsRequest{path});
+  auto result = co_await hub_->call<BbLocationsReply>(client, master_node_,
+                                                      kBbLocations, req);
+  if (!result.is_ok()) co_return result.status();
+  co_return *result.value();
+}
+
+sim::Task<Result<std::unique_ptr<fs::Writer>>> BurstBufferFileSystem::create(
+    const std::string& path, net::NodeId client) {
+  auto req = std::make_shared<const BbCreateRequest>(BbCreateRequest{path});
+  auto result = co_await hub_->call<void>(client, master_node_, kBbCreate,
+                                          req);
+  if (!result.is_ok()) co_return result.status();
+  co_return std::unique_ptr<fs::Writer>(
+      std::make_unique<BbWriter>(*this, path, client));
+}
+
+sim::Task<Result<std::unique_ptr<fs::Reader>>> BurstBufferFileSystem::open(
+    const std::string& path, net::NodeId client) {
+  auto meta = co_await locations(path, client);
+  if (!meta.is_ok()) co_return meta.status();
+  co_return std::unique_ptr<fs::Reader>(std::make_unique<BbReader>(
+      *this, path, client, std::move(meta).value()));
+}
+
+sim::Task<Result<fs::FileInfo>> BurstBufferFileSystem::stat(
+    const std::string& path, net::NodeId client) {
+  auto meta = co_await locations(path, client);
+  if (!meta.is_ok()) co_return meta.status();
+  fs::FileInfo info;
+  info.path = path;
+  info.size = meta.value().file_size;
+  info.block_size = meta.value().block_size;
+  info.replication = params_.scheme == Scheme::kAsync ? 1 : 2;
+  co_return info;
+}
+
+sim::Task<Status> BurstBufferFileSystem::remove(const std::string& path,
+                                                net::NodeId client) {
+  // Drop any RAM-disk replicas (direct store access: agents are in-process).
+  for (auto& [node, agent] : agents_) {
+    std::uint32_t index = 0;
+    while (agent->store().contains(local_object(path, index))) {
+      (void)agent->store().remove(local_object(path, index));
+      ++index;
+    }
+  }
+  auto req = std::make_shared<const BbDeleteRequest>(BbDeleteRequest{path});
+  co_return (co_await hub_->call<void>(client, master_node_, kBbDelete, req))
+      .status();
+}
+
+sim::Task<Result<std::vector<std::string>>> BurstBufferFileSystem::list(
+    const std::string& prefix, net::NodeId client) {
+  auto req = std::make_shared<const BbListRequest>(BbListRequest{prefix});
+  auto result = co_await hub_->call<BbListReply>(client, master_node_,
+                                                 kBbList, req);
+  if (!result.is_ok()) co_return result.status();
+  co_return result.value()->paths;
+}
+
+sim::Task<Result<std::vector<std::vector<net::NodeId>>>>
+BurstBufferFileSystem::block_locations(const std::string& path,
+                                       net::NodeId client) {
+  auto meta = co_await locations(path, client);
+  if (!meta.is_ok()) co_return meta.status();
+  std::vector<std::vector<net::NodeId>> out;
+  out.reserve(meta.value().blocks.size());
+  for (const BbBlockInfo& block : meta.value().blocks) {
+    if (block.local_node.has_value()) {
+      out.push_back({*block.local_node});
+    } else {
+      out.emplace_back();
+    }
+  }
+  co_return out;
+}
+
+}  // namespace hpcbb::bb

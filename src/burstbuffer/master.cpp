@@ -1,0 +1,363 @@
+#include "burstbuffer/master.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hpcbb::bb {
+
+Master::Master(net::RpcHub& hub, net::NodeId node,
+               std::vector<net::NodeId> kv_servers, net::NodeId lustre_mds,
+               Scheme scheme, const MasterParams& params)
+    : hub_(&hub),
+      node_(node),
+      kv_servers_(std::move(kv_servers)),
+      scheme_(scheme),
+      params_(params),
+      lustre_(hub, lustre_mds),
+      flush_queue_(hub.transport().fabric().simulation()),
+      flush_done_(hub.transport().fabric().simulation()),
+      admission_cv_(hub.transport().fabric().simulation()) {
+  assert(!kv_servers_.empty());
+  hub_->bind(node_, kBbCreate, net::typed_handler<BbCreateRequest>([this](
+      auto req) { return handle_create(req); }));
+  hub_->bind(node_, kBbAddBlock, net::typed_handler<BbAddBlockRequest>([this](
+      auto req) { return handle_add_block(req); }));
+  hub_->bind(node_, kBbCompleteBlock,
+             net::typed_handler<BbCompleteBlockRequest>(
+                 [this](auto req) { return handle_complete_block(req); }));
+  hub_->bind(node_, kBbClose, net::typed_handler<BbCloseRequest>([this](
+      auto req) { return handle_close(req); }));
+  hub_->bind(node_, kBbLocations, net::typed_handler<BbLocationsRequest>(
+      [this](auto req) { return handle_locations(req); }));
+  hub_->bind(node_, kBbDelete, net::typed_handler<BbDeleteRequest>([this](
+      auto req) { return handle_delete(req); }));
+  hub_->bind(node_, kBbList, net::typed_handler<BbListRequest>([this](
+      auto req) { return handle_list(req); }));
+
+  sim::Simulation& sim = hub_->transport().fabric().simulation();
+  for (std::uint32_t w = 0; w < params_.flusher_count; ++w) {
+    // Each worker acts from a KV server node (burst-buffer servers persist
+    // their data to Lustre in the paper's deployment).
+    flusher_clients_.push_back(std::make_unique<kv::Client>(
+        *hub_, kv_servers_[w % kv_servers_.size()], kv_servers_));
+    sim.spawn(flush_worker(w));
+  }
+}
+
+Master::~Master() {
+  for (const net::Port port : {kBbCreate, kBbAddBlock, kBbCompleteBlock,
+                               kBbClose, kBbLocations, kBbDelete, kBbList}) {
+    hub_->unbind(node_, port);
+  }
+}
+
+sim::Task<void> Master::charge_md_op() {
+  return hub_->transport().fabric().charge_cpu(node_, params_.md_op_ns);
+}
+
+sim::Task<net::RpcResponse> Master::handle_create(
+    std::shared_ptr<const BbCreateRequest> req) {
+  co_await charge_md_op();
+  if (files_.contains(req->path)) {
+    co_return net::rpc_error(
+        error(StatusCode::kAlreadyExists, "file exists: " + req->path));
+  }
+  // Create the Lustre backing file up front: flushers and write-through
+  // writers need its layout immediately.
+  Result<lustre::FileLayout> layout =
+      co_await lustre_.create(node_, lustre_path(req->path));
+  if (!layout.is_ok()) co_return net::rpc_error(layout.status());
+  FileMeta meta;
+  meta.lustre_layout = std::move(layout).value();
+  files_[req->path] = std::move(meta);
+  co_return net::RpcResponse{Status::ok(), nullptr, kHeaderBytes};
+}
+
+sim::Task<net::RpcResponse> Master::handle_add_block(
+    std::shared_ptr<const BbAddBlockRequest> req) {
+  co_await charge_md_op();
+  const auto it = files_.find(req->path);
+  if (it == files_.end()) {
+    co_return net::rpc_error(
+        error(StatusCode::kNotFound, "no such file: " + req->path));
+  }
+  if (it->second.closed) {
+    co_return net::rpc_error(
+        error(StatusCode::kFailedPrecondition, "file is closed"));
+  }
+  co_await admit_block();
+  // Re-find: the admission wait suspends, and the file may change meanwhile.
+  const auto it2 = files_.find(req->path);
+  if (it2 == files_.end()) {
+    if (params_.buffer_capacity_bytes != 0) {
+      reserved_bytes_ -= std::min(reserved_bytes_, params_.block_size);
+      admission_cv_.notify_all();
+    }
+    co_return net::rpc_error(
+        error(StatusCode::kNotFound, "file deleted while admitting block"));
+  }
+  auto reply = std::make_shared<BbAddBlockReply>();
+  reply->block_index = static_cast<std::uint32_t>(it2->second.blocks.size());
+  BbBlockInfo block;
+  block.index = reply->block_index;
+  block.reservation_held = params_.buffer_capacity_bytes != 0;
+  it2->second.blocks.push_back(block);
+  const std::uint64_t wire = reply->wire_size();
+  co_return net::rpc_ok<BbAddBlockReply>(std::move(reply), wire);
+}
+
+sim::Task<net::RpcResponse> Master::handle_complete_block(
+    std::shared_ptr<const BbCompleteBlockRequest> req) {
+  co_await charge_md_op();
+  const auto it = files_.find(req->path);
+  if (it == files_.end()) {
+    co_return net::rpc_error(
+        error(StatusCode::kNotFound, "no such file: " + req->path));
+  }
+  if (req->block_index >= it->second.blocks.size()) {
+    co_return net::rpc_error(error(StatusCode::kNotFound, "no such block"));
+  }
+  BbBlockInfo& block = it->second.blocks[req->block_index];
+  block.size = req->size;
+  block.crc32c = req->crc32c;
+  block.local_node = req->local_node;
+  if (req->already_durable) {
+    release_reservation(block);
+    block.state = BlockState::kFlushed;
+    ++flushed_blocks_;
+    flushed_bytes_ += req->size;
+  } else {
+    block.state = BlockState::kDirty;
+    ++dirty_or_flushing_;
+    flush_queue_.push(FlushItem{req->path, req->block_index});
+  }
+  co_return net::RpcResponse{Status::ok(), nullptr, kHeaderBytes};
+}
+
+sim::Task<net::RpcResponse> Master::handle_close(
+    std::shared_ptr<const BbCloseRequest> req) {
+  co_await charge_md_op();
+  const auto it = files_.find(req->path);
+  if (it == files_.end()) {
+    co_return net::rpc_error(
+        error(StatusCode::kNotFound, "no such file: " + req->path));
+  }
+  it->second.closed = true;
+  it->second.size = req->size;
+  // Record the logical size on Lustre now; block data lands as flushes
+  // complete (MDS set-size keeps the max).
+  Status st = co_await lustre_.set_size(node_, lustre_path(req->path),
+                                        req->size);
+  if (!st.is_ok()) co_return net::rpc_error(std::move(st));
+  co_return net::RpcResponse{Status::ok(), nullptr, kHeaderBytes};
+}
+
+sim::Task<net::RpcResponse> Master::handle_locations(
+    std::shared_ptr<const BbLocationsRequest> req) {
+  co_await charge_md_op();
+  const auto it = files_.find(req->path);
+  if (it == files_.end()) {
+    co_return net::rpc_error(
+        error(StatusCode::kNotFound, "no such file: " + req->path));
+  }
+  auto reply = std::make_shared<BbLocationsReply>();
+  reply->file_size = it->second.size;
+  reply->block_size = params_.block_size;
+  reply->closed = it->second.closed;
+  reply->blocks = it->second.blocks;
+  const std::uint64_t wire = reply->wire_size();
+  co_return net::rpc_ok<BbLocationsReply>(std::move(reply), wire);
+}
+
+sim::Task<net::RpcResponse> Master::handle_delete(
+    std::shared_ptr<const BbDeleteRequest> req) {
+  co_await charge_md_op();
+  const auto it = files_.find(req->path);
+  if (it == files_.end()) {
+    co_return net::rpc_error(
+        error(StatusCode::kNotFound, "no such file: " + req->path));
+  }
+  // Capture and erase first so queued flushes see the file as gone.
+  FileMeta meta = std::move(it->second);
+  files_.erase(it);
+  for (BbBlockInfo& block : meta.blocks) {
+    if (block.state == BlockState::kDirty ||
+        block.state == BlockState::kFlushing) {
+      // Its flush item will find the file gone and skip; settle accounting.
+      finish_block(block, BlockState::kFlushed);
+      --flushed_blocks_;  // not actually flushed, just no longer pending
+    } else {
+      release_reservation(block);  // e.g. added but never completed
+    }
+    const std::uint32_t chunks = static_cast<std::uint32_t>(
+        (block.size + params_.chunk_size - 1) / params_.chunk_size);
+    kv::Client& kv = *flusher_clients_.front();
+    for (std::uint32_t c = 0; c < chunks; ++c) {
+      (void)co_await kv.erase(chunk_key(req->path, block.index, c));
+    }
+  }
+  Status st = co_await lustre_.unlink(node_, lustre_path(req->path));
+  if (!st.is_ok() && st.code() != StatusCode::kNotFound) {
+    co_return net::rpc_error(std::move(st));
+  }
+  co_return net::RpcResponse{Status::ok(), nullptr, kHeaderBytes};
+}
+
+sim::Task<net::RpcResponse> Master::handle_list(
+    std::shared_ptr<const BbListRequest> req) {
+  co_await charge_md_op();
+  auto reply = std::make_shared<BbListReply>();
+  for (const auto& [path, meta] : files_) {
+    if (path.starts_with(req->prefix)) reply->paths.push_back(path);
+  }
+  const std::uint64_t wire = reply->wire_size();
+  co_return net::rpc_ok<BbListReply>(std::move(reply), wire);
+}
+
+sim::Task<void> Master::admit_block() {
+  if (params_.buffer_capacity_bytes == 0) co_return;
+  const auto limit = static_cast<std::uint64_t>(
+      params_.admission_fraction *
+      static_cast<double>(params_.buffer_capacity_bytes));
+  // Always admit at least one block (even if block_size > limit), so a
+  // lone writer cannot starve; beyond that, wait for flush progress.
+  while (reserved_bytes_ > 0 &&
+         reserved_bytes_ + params_.block_size > limit) {
+    co_await admission_cv_.wait();
+  }
+  reserved_bytes_ += params_.block_size;
+}
+
+void Master::release_reservation(BbBlockInfo& block) {
+  if (!block.reservation_held) return;
+  block.reservation_held = false;
+  reserved_bytes_ -= std::min(reserved_bytes_, params_.block_size);
+  admission_cv_.notify_all();
+}
+
+void Master::finish_block(BbBlockInfo& block, BlockState state) {
+  release_reservation(block);
+  block.state = state;
+  assert(dirty_or_flushing_ > 0);
+  --dirty_or_flushing_;
+  if (state == BlockState::kFlushed) {
+    ++flushed_blocks_;
+    flushed_bytes_ += block.size;
+  } else if (state == BlockState::kLost) {
+    ++lost_blocks_;
+  }
+  if (dirty_or_flushing_ == 0) flush_done_.notify_all();
+}
+
+sim::Task<void> Master::wait_all_flushed() {
+  while (dirty_or_flushing_ > 0) co_await flush_done_.wait();
+}
+
+sim::Task<void> Master::flush_worker(std::uint32_t worker_index) {
+  for (;;) {
+    const FlushItem item = co_await flush_queue_.recv();
+    std::size_t span = 0;
+    if (trace_ != nullptr) {
+      span = trace_->begin(
+          "flush.block_" + std::to_string(item.block_index), "bb",
+          worker_index);
+    }
+    (void)co_await flush_block(worker_index, item);
+    if (trace_ != nullptr) trace_->end(span);
+  }
+}
+
+sim::Task<Status> Master::flush_block(std::uint32_t worker_index,
+                                      const FlushItem& item) {
+  // NOTE: references into files_ must be re-resolved after every co_await —
+  // writers add blocks (vector reallocation) and files can be deleted while
+  // a flush is in flight.
+  const auto lookup = [this, &item]() -> BbBlockInfo* {
+    const auto it = files_.find(item.path);
+    if (it == files_.end() || item.block_index >= it->second.blocks.size()) {
+      return nullptr;
+    }
+    return &it->second.blocks[item.block_index];
+  };
+
+  BbBlockInfo* block = lookup();
+  if (block == nullptr) co_return Status::ok();  // deleted while queued
+  if (block->state != BlockState::kDirty) co_return Status::ok();
+  block->state = BlockState::kFlushing;
+  const std::uint64_t block_size = block->size;
+  const std::uint32_t block_index = block->index;
+  const auto local_node = block->local_node;
+
+  kv::Client& kv = *flusher_clients_[worker_index];
+  const net::NodeId self = kv.self();
+  const std::uint32_t chunks = static_cast<std::uint32_t>(
+      (block_size + params_.chunk_size - 1) / params_.chunk_size);
+
+  // Pull the block out of the burst buffer...
+  Bytes data;
+  data.reserve(block_size);
+  bool buffer_ok = true;
+  for (std::uint32_t c = 0; c < chunks && buffer_ok; ++c) {
+    Result<BytesPtr> piece =
+        co_await kv.get(chunk_key(item.path, block_index, c));
+    if (!piece.is_ok()) {
+      buffer_ok = false;
+      break;
+    }
+    data.insert(data.end(), piece.value()->begin(), piece.value()->end());
+  }
+
+  // ...or recover from the node-local replica (BB-Local's second copy).
+  if ((!buffer_ok || data.size() != block_size) && local_node.has_value()) {
+    auto req = std::make_shared<const AgentReadRequest>(AgentReadRequest{
+        local_object(item.path, block_index), 0, block_size});
+    auto result = co_await hub_->call<AgentReadReply>(self, *local_node,
+                                                      kAgentRead, req);
+    if (result.is_ok()) {
+      data.assign(result.value()->data->begin(), result.value()->data->end());
+      buffer_ok = true;
+      ++recovered_blocks_;
+    }
+  }
+
+  block = lookup();
+  if (block == nullptr) co_return Status::ok();  // deleted meanwhile
+
+  // Buffer chunks are padded to uniform size; trim to the logical block.
+  if (buffer_ok && data.size() > block_size) data.resize(block_size);
+  if (!buffer_ok || data.size() != block_size) {
+    // Acknowledged-but-unflushed data is gone: this is exactly the
+    // durability window the BB-Async scheme trades for speed.
+    finish_block(*block, BlockState::kLost);
+    co_return error(StatusCode::kDataLoss, "dirty block lost before flush");
+  }
+
+  const auto layout = files_.find(item.path)->second.lustre_layout;
+  Status st = co_await lustre_.write(
+      self, layout,
+      static_cast<std::uint64_t>(block_index) * params_.block_size,
+      make_bytes(std::move(data)));
+  block = lookup();
+  if (block == nullptr) co_return Status::ok();
+  if (!st.is_ok()) {
+    // Lustre hiccup: requeue and retry later rather than dropping data.
+    block->state = BlockState::kDirty;
+    flush_queue_.push(item);
+    co_return st;
+  }
+  (void)co_await lustre_.set_size(
+      self, lustre_path(item.path),
+      static_cast<std::uint64_t>(block_index) * params_.block_size +
+          block_size);
+
+  // Durable: unpin chunks so the cache may evict them under pressure.
+  for (std::uint32_t c = 0; c < chunks; ++c) {
+    (void)co_await kv.pin(chunk_key(item.path, block_index, c), false);
+  }
+  block = lookup();
+  if (block == nullptr) co_return Status::ok();
+  finish_block(*block, BlockState::kFlushed);
+  co_return Status::ok();
+}
+
+}  // namespace hpcbb::bb

@@ -1,0 +1,141 @@
+// Burst-buffer master: metadata for buffered files, the flush pipeline that
+// drains dirty blocks from the KV burst buffer to Lustre, and loss
+// accounting. This is the control plane of the paper's design; the data
+// plane is the RDMA KV store itself.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "burstbuffer/protocol.h"
+#include "kvstore/client.h"
+#include "lustre/client.h"
+#include "net/rpc.h"
+#include "sim/sync.h"
+#include "sim/trace.h"
+
+namespace hpcbb::bb {
+
+struct MasterParams {
+  std::uint64_t block_size = 128 * MiB;
+  std::uint64_t chunk_size = 1 * MiB;
+  std::uint32_t flusher_count = 4;
+  sim::SimTime md_op_ns = 15 * duration::us;
+  std::string lustre_prefix = "/bb";
+  // Admission control: total KV buffer memory (0 disables). New blocks are
+  // admitted only while un-flushed reservations stay under
+  // admission_fraction * capacity; otherwise AddBlock waits for flush
+  // progress. This bounds pinned (unevictable) data so a writer can never
+  // wedge the buffer with a half-written block it has no room to finish.
+  std::uint64_t buffer_capacity_bytes = 0;
+  double admission_fraction = 0.7;
+};
+
+class Master {
+ public:
+  // Flush workers are placed round-robin on the KV server nodes: in the
+  // paper's deployment the burst-buffer servers persist data to Lustre.
+  Master(net::RpcHub& hub, net::NodeId node,
+         std::vector<net::NodeId> kv_servers, net::NodeId lustre_mds,
+         Scheme scheme, const MasterParams& params);
+  ~Master();
+
+  Master(const Master&) = delete;
+  Master& operator=(const Master&) = delete;
+
+  [[nodiscard]] net::NodeId node() const noexcept { return node_; }
+  [[nodiscard]] Scheme scheme() const noexcept { return scheme_; }
+  [[nodiscard]] const MasterParams& params() const noexcept { return params_; }
+
+  [[nodiscard]] std::string lustre_path(const std::string& path) const {
+    return params_.lustre_prefix + path;
+  }
+
+  // Flush/durability telemetry (harness-side observability).
+  [[nodiscard]] std::uint64_t dirty_blocks() const noexcept {
+    return dirty_or_flushing_;
+  }
+  [[nodiscard]] std::uint64_t flushed_blocks() const noexcept {
+    return flushed_blocks_;
+  }
+  [[nodiscard]] std::uint64_t flushed_bytes() const noexcept {
+    return flushed_bytes_;
+  }
+  [[nodiscard]] std::uint64_t lost_blocks() const noexcept {
+    return lost_blocks_;
+  }
+  [[nodiscard]] std::uint64_t recovered_blocks() const noexcept {
+    return recovered_blocks_;
+  }
+
+  // Blocks until no block is dirty or mid-flush (the durability window has
+  // closed). Used by benchmarks and failure experiments.
+  sim::Task<void> wait_all_flushed();
+
+  // Optional span tracing of the flush pipeline ("bb" category).
+  void set_trace(sim::TraceRecorder* recorder) noexcept { trace_ = recorder; }
+
+ private:
+  struct BlockMeta {
+    BbBlockInfo info;
+    std::string path;  // back-reference for flush items
+  };
+  struct FileMeta {
+    std::vector<BbBlockInfo> blocks;
+    lustre::FileLayout lustre_layout;
+    std::uint64_t size = 0;
+    bool closed = false;
+  };
+  struct FlushItem {
+    std::string path;
+    std::uint32_t block_index = 0;
+  };
+
+  sim::Task<net::RpcResponse> handle_create(
+      std::shared_ptr<const BbCreateRequest>);
+  sim::Task<net::RpcResponse> handle_add_block(
+      std::shared_ptr<const BbAddBlockRequest>);
+  sim::Task<net::RpcResponse> handle_complete_block(
+      std::shared_ptr<const BbCompleteBlockRequest>);
+  sim::Task<net::RpcResponse> handle_close(
+      std::shared_ptr<const BbCloseRequest>);
+  sim::Task<net::RpcResponse> handle_locations(
+      std::shared_ptr<const BbLocationsRequest>);
+  sim::Task<net::RpcResponse> handle_delete(
+      std::shared_ptr<const BbDeleteRequest>);
+  sim::Task<net::RpcResponse> handle_list(std::shared_ptr<const BbListRequest>);
+
+  sim::Task<void> charge_md_op();
+  sim::Task<void> flush_worker(std::uint32_t worker_index);
+  sim::Task<Status> flush_block(std::uint32_t worker_index,
+                                const FlushItem& item);
+  void finish_block(BbBlockInfo& block, BlockState state);
+  sim::Task<void> admit_block();
+  void release_reservation(BbBlockInfo& block);
+
+  net::RpcHub* hub_;
+  net::NodeId node_;
+  std::vector<net::NodeId> kv_servers_;
+  Scheme scheme_;
+  MasterParams params_;
+  lustre::LustreClient lustre_;
+
+  std::map<std::string, FileMeta> files_;
+  sim::Channel<FlushItem> flush_queue_;
+  sim::Condition flush_done_;
+  sim::Condition admission_cv_;
+  std::uint64_t reserved_bytes_ = 0;
+  std::vector<std::unique_ptr<kv::Client>> flusher_clients_;
+
+  sim::TraceRecorder* trace_ = nullptr;
+  std::uint64_t dirty_or_flushing_ = 0;
+  std::uint64_t flushed_blocks_ = 0;
+  std::uint64_t flushed_bytes_ = 0;
+  std::uint64_t lost_blocks_ = 0;
+  std::uint64_t recovered_blocks_ = 0;
+};
+
+}  // namespace hpcbb::bb

@@ -1,0 +1,156 @@
+// Burst-buffer wire messages: master metadata ops and node-agent reads.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "burstbuffer/scheme.h"
+#include "common/bytes.h"
+#include "net/rpc.h"
+
+namespace hpcbb::bb {
+
+inline constexpr net::Port kMasterPortBase = 7070;
+inline constexpr net::Port kAgentPortBase = 7160;
+
+inline constexpr net::Port kBbCreate = kMasterPortBase;
+inline constexpr net::Port kBbAddBlock = kMasterPortBase + 1;
+inline constexpr net::Port kBbCompleteBlock = kMasterPortBase + 2;
+inline constexpr net::Port kBbClose = kMasterPortBase + 3;
+inline constexpr net::Port kBbLocations = kMasterPortBase + 4;
+inline constexpr net::Port kBbDelete = kMasterPortBase + 5;
+inline constexpr net::Port kBbList = kMasterPortBase + 6;
+
+inline constexpr net::Port kAgentRead = kAgentPortBase;
+
+inline constexpr std::uint64_t kHeaderBytes = 64;
+
+enum class BlockState {
+  kDirty,     // buffer-resident only; flush pending
+  kFlushing,  // a flusher is draining it to Lustre
+  kFlushed,   // durable on Lustre (buffer copy may remain or be evicted)
+  kLost,      // dirty data lost with a crashed buffer server
+};
+
+struct BbCreateRequest {
+  std::string path;
+  [[nodiscard]] std::uint64_t wire_size() const {
+    return kHeaderBytes + path.size();
+  }
+};
+
+struct BbAddBlockRequest {
+  std::string path;
+  net::NodeId writer = 0;
+  [[nodiscard]] std::uint64_t wire_size() const {
+    return kHeaderBytes + path.size();
+  }
+};
+
+struct BbAddBlockReply {
+  std::uint32_t block_index = 0;
+  [[nodiscard]] std::uint64_t wire_size() const { return kHeaderBytes; }
+};
+
+struct BbCompleteBlockRequest {
+  std::string path;
+  std::uint32_t block_index = 0;
+  std::uint64_t size = 0;
+  std::uint32_t crc32c = 0;
+  bool already_durable = false;           // BB-Sync wrote through to Lustre
+  std::optional<net::NodeId> local_node;  // BB-Local replica location
+  [[nodiscard]] std::uint64_t wire_size() const {
+    return kHeaderBytes + path.size();
+  }
+};
+
+struct BbCloseRequest {
+  std::string path;
+  std::uint64_t size = 0;
+  [[nodiscard]] std::uint64_t wire_size() const {
+    return kHeaderBytes + path.size();
+  }
+};
+
+struct BbBlockInfo {
+  std::uint32_t index = 0;
+  std::uint64_t size = 0;
+  std::uint32_t crc32c = 0;
+  BlockState state = BlockState::kDirty;
+  std::optional<net::NodeId> local_node;
+  bool reservation_held = false;  // master-internal admission bookkeeping
+};
+
+struct BbLocationsRequest {
+  std::string path;
+  [[nodiscard]] std::uint64_t wire_size() const {
+    return kHeaderBytes + path.size();
+  }
+};
+
+struct BbLocationsReply {
+  std::uint64_t file_size = 0;
+  std::uint64_t block_size = 0;
+  bool closed = false;
+  std::vector<BbBlockInfo> blocks;
+  [[nodiscard]] std::uint64_t wire_size() const {
+    return kHeaderBytes + blocks.size() * 24;
+  }
+};
+
+struct BbDeleteRequest {
+  std::string path;
+  [[nodiscard]] std::uint64_t wire_size() const {
+    return kHeaderBytes + path.size();
+  }
+};
+
+struct BbListRequest {
+  std::string prefix;
+  [[nodiscard]] std::uint64_t wire_size() const {
+    return kHeaderBytes + prefix.size();
+  }
+};
+
+struct BbListReply {
+  std::vector<std::string> paths;
+  [[nodiscard]] std::uint64_t wire_size() const {
+    std::uint64_t total = kHeaderBytes;
+    for (const auto& p : paths) total += p.size() + 4;
+    return total;
+  }
+};
+
+// Node-agent read of a RAM-disk block replica (BB-Local scheme).
+struct AgentReadRequest {
+  std::string object;  // "<path>#<block_index>"
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  [[nodiscard]] std::uint64_t wire_size() const {
+    return kHeaderBytes + object.size();
+  }
+};
+
+struct AgentReadReply {
+  BytesPtr data;
+  [[nodiscard]] std::uint64_t wire_size() const {
+    return kHeaderBytes + data->size();
+  }
+};
+
+// Chunk key for block data striped across the KV servers.
+inline std::string chunk_key(const std::string& path,
+                             std::uint32_t block_index, std::uint32_t chunk) {
+  return "bb:" + path + "#" + std::to_string(block_index) + "#" +
+         std::to_string(chunk);
+}
+
+// RAM-disk replica object name.
+inline std::string local_object(const std::string& path,
+                                std::uint32_t block_index) {
+  return path + "#" + std::to_string(block_index);
+}
+
+}  // namespace hpcbb::bb

@@ -1,0 +1,33 @@
+// The three HDFS-with-Lustre integration schemes from the paper, spanning
+// the design space of I/O performance, data-locality, and fault-tolerance.
+#pragma once
+
+#include <string_view>
+
+namespace hpcbb::bb {
+
+enum class Scheme {
+  // Writes are acknowledged once resident in the RDMA KV burst buffer;
+  // flusher threads drain dirty blocks to Lustre asynchronously. Fastest
+  // writes; a durability window exists until the flush completes.
+  kAsync,
+  // Writes go to the burst buffer AND synchronously to Lustre before the
+  // ack (write-through). Fault tolerance equals Lustre; reads still hit
+  // the buffer at RDMA speed.
+  kSync,
+  // Like kAsync, plus one replica on the writer's node-local RAM disk —
+  // preserving HDFS-style map-task data locality and providing a second
+  // copy during the durability window.
+  kLocal,
+};
+
+constexpr std::string_view to_string(Scheme scheme) noexcept {
+  switch (scheme) {
+    case Scheme::kAsync: return "BB-Async";
+    case Scheme::kSync: return "BB-Sync";
+    case Scheme::kLocal: return "BB-Local";
+  }
+  return "?";
+}
+
+}  // namespace hpcbb::bb

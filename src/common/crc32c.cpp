@@ -1,0 +1,57 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace hpcbb {
+namespace {
+
+// Slicing-by-4 tables, generated at static-init time from the Castagnoli
+// polynomial (reflected 0x82F63B78).
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 4> t;
+
+  Tables() noexcept {
+    constexpr std::uint32_t kPoly = 0x82F63B78u;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFu];
+    }
+  }
+};
+
+const Tables& tables() noexcept {
+  static const Tables kTables;
+  return kTables;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::uint32_t crc, const void* data, std::size_t n) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  const auto& t = tables().t;
+  crc = ~crc;
+  while (n >= 4) {
+    crc ^= static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+    crc = t[3][crc & 0xFFu] ^ t[2][(crc >> 8) & 0xFFu] ^
+          t[1][(crc >> 16) & 0xFFu] ^ t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace hpcbb

@@ -1,0 +1,52 @@
+// Minimal leveled logger. Simulation code logs with the simulated timestamp
+// via the sim-aware wrapper in sim/; this is the raw sink.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace hpcbb {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+namespace log_internal {
+std::atomic<int>& level_ref() noexcept;
+void emit(LogLevel level, const std::string& message);
+}  // namespace log_internal
+
+inline void set_log_level(LogLevel level) noexcept {
+  log_internal::level_ref().store(static_cast<int>(level),
+                                  std::memory_order_relaxed);
+}
+
+inline bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >=
+         log_internal::level_ref().load(std::memory_order_relaxed);
+}
+
+// Stream-style: HPCBB_LOG(kInfo) << "x=" << x;  Evaluates operands only when
+// the level is enabled.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_internal::emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace hpcbb
+
+#define HPCBB_LOG(level)                                  \
+  if (!::hpcbb::log_enabled(::hpcbb::LogLevel::level)) {} \
+  else ::hpcbb::LogLine(::hpcbb::LogLevel::level)

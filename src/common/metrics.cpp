@@ -1,0 +1,112 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace hpcbb {
+
+int Histogram::bucket_index(std::uint64_t value) noexcept {
+  if (value < kSubBuckets) return static_cast<int>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - kSubBits;
+  const auto sub = static_cast<int>((value >> shift) & (kSubBuckets - 1));
+  return ((msb - kSubBits + 1) << kSubBits) + sub;
+}
+
+std::uint64_t Histogram::bucket_upper_bound(int index) noexcept {
+  if (index < kSubBuckets) return static_cast<std::uint64_t>(index);
+  const int exp = (index >> kSubBits) - 1 + kSubBits;
+  const int sub = index & (kSubBuckets - 1);
+  const std::uint64_t base = 1ull << exp;
+  const std::uint64_t step = base >> kSubBits;
+  return base + static_cast<std::uint64_t>(sub + 1) * step - 1;
+}
+
+void Histogram::record(std::uint64_t value) noexcept {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Histogram::min() const noexcept {
+  const std::uint64_t v = min_.load(std::memory_order_relaxed);
+  return v == ~0ull ? 0 : v;
+}
+
+std::uint64_t Histogram::max() const noexcept {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::uint64_t Histogram::quantile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(n - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= target) return bucket_upper_bound(i);
+  }
+  return max();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~0ull, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::uint64_t MetricRegistry::counter_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->get();
+}
+
+std::map<std::string, std::uint64_t> MetricRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, counter] : counters_) out[name] = counter->get();
+  return out;
+}
+
+void MetricRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+}  // namespace hpcbb

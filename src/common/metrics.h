@@ -1,0 +1,82 @@
+// Metrics: counters and a log-linear histogram (HdrHistogram-style buckets)
+// good enough for latency percentiles across nine decades of nanoseconds.
+// Thread-safe: the KV store updates metrics from real threads in unit tests
+// and benchmarks; the simulator updates them single-threaded.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hpcbb {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t get() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Log-linear histogram: 64 orders of magnitude (bit position), 16 linear
+// sub-buckets each => <= 6.25% relative quantile error.
+class Histogram {
+ public:
+  static constexpr int kSubBits = 4;
+  static constexpr int kSubBuckets = 1 << kSubBits;
+  static constexpr int kNumBuckets = 64 * kSubBuckets;
+
+  void record(std::uint64_t value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t min() const noexcept;
+  [[nodiscard]] std::uint64_t max() const noexcept;
+  [[nodiscard]] double mean() const noexcept;
+  // q in [0, 1]; returns an upper bound of the bucket containing the quantile.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  static int bucket_index(std::uint64_t value) noexcept;
+  static std::uint64_t bucket_upper_bound(int index) noexcept;
+
+  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ull};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+// Named metric registry; experiments snapshot it into report rows.
+class MetricRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+
+  // All counters as a sorted name -> value map (for reports and tests).
+  [[nodiscard]] std::map<std::string, std::uint64_t> counters() const;
+
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace hpcbb

@@ -1,0 +1,104 @@
+#include "common/properties.h"
+
+#include <cctype>
+#include <charconv>
+
+#include "common/strings.h"
+#include "common/units.h"
+
+namespace hpcbb {
+
+Result<Properties> Properties::parse(std::string_view text) {
+  Properties props;
+  std::size_t line_no = 0;
+  for (const auto& raw_line : split(text, '\n')) {
+    ++line_no;
+    std::string_view line = trim(raw_line);
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = trim(line.substr(0, hash));
+    }
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return error(StatusCode::kInvalidArgument,
+                   "line " + std::to_string(line_no) + ": expected key=value");
+    }
+    const std::string_view key = trim(line.substr(0, eq));
+    if (key.empty()) {
+      return error(StatusCode::kInvalidArgument,
+                   "line " + std::to_string(line_no) + ": empty key");
+    }
+    props.set(std::string(key), std::string(trim(line.substr(eq + 1))));
+  }
+  return props;
+}
+
+void Properties::set(std::string key, std::string value) {
+  entries_[std::move(key)] = std::move(value);
+}
+
+std::optional<std::string> Properties::get(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Properties::get_or(const std::string& key,
+                               std::string fallback) const {
+  auto v = get(key);
+  return v ? *v : std::move(fallback);
+}
+
+Result<std::uint64_t> Properties::get_u64(const std::string& key) const {
+  const auto v = get(key);
+  if (!v) return error(StatusCode::kNotFound, "missing key: " + key);
+  std::string_view s = trim(*v);
+  std::uint64_t multiplier = 1;
+  if (!s.empty()) {
+    switch (std::tolower(static_cast<unsigned char>(s.back()))) {
+      case 'k': multiplier = KiB; s.remove_suffix(1); break;
+      case 'm': multiplier = MiB; s.remove_suffix(1); break;
+      case 'g': multiplier = GiB; s.remove_suffix(1); break;
+      case 't': multiplier = TiB; s.remove_suffix(1); break;
+      default: break;
+    }
+  }
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return error(StatusCode::kInvalidArgument,
+                 "key " + key + ": not an integer: " + *v);
+  }
+  return value * multiplier;
+}
+
+std::uint64_t Properties::get_u64_or(const std::string& key,
+                                     std::uint64_t fallback) const {
+  const auto r = get_u64(key);
+  return r.is_ok() ? r.value() : fallback;
+}
+
+double Properties::get_double_or(const std::string& key,
+                                 double fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+bool Properties::get_bool_or(const std::string& key, bool fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  if (*v == "true" || *v == "1" || *v == "yes") return true;
+  if (*v == "false" || *v == "0" || *v == "no") return false;
+  return fallback;
+}
+
+bool Properties::contains(const std::string& key) const {
+  return entries_.contains(key);
+}
+
+}  // namespace hpcbb

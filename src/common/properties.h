@@ -1,0 +1,45 @@
+// Key=value properties (Hadoop-configuration style) with typed getters.
+// Examples and benches accept overrides like "bb.scheme=local" on the
+// command line; this is the shared parser.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace hpcbb {
+
+class Properties {
+ public:
+  Properties() = default;
+
+  // Parses "a.b=1\nc=hello" text; '#' starts a comment. Later keys win.
+  static Result<Properties> parse(std::string_view text);
+
+  void set(std::string key, std::string value);
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  [[nodiscard]] std::string get_or(const std::string& key,
+                                   std::string fallback) const;
+  // Accepts size suffixes k/m/g (binary): "128m" -> 128 MiB.
+  [[nodiscard]] Result<std::uint64_t> get_u64(const std::string& key) const;
+  [[nodiscard]] std::uint64_t get_u64_or(const std::string& key,
+                                         std::uint64_t fallback) const;
+  [[nodiscard]] double get_double_or(const std::string& key,
+                                     double fallback) const;
+  [[nodiscard]] bool get_bool_or(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] bool contains(const std::string& key) const;
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace hpcbb

@@ -1,0 +1,90 @@
+// Deterministic PRNG: xoshiro256** seeded via SplitMix64. The simulator
+// requires reproducible streams; std::mt19937_64 would also do, but
+// xoshiro is faster and its behaviour is pinned by our own tests rather
+// than by library implementation details.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cmath>
+#include <limits>
+
+namespace hpcbb {
+
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) noexcept {
+    assert(lo <= hi);
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) return next();  // full 64-bit range
+    // Lemire-style rejection-free is overkill here; modulo bias is
+    // negligible for span << 2^64 and determinism is what matters.
+    return lo + next() % span;
+  }
+
+  // Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Exponentially distributed with the given mean (device/service jitter).
+  double exponential(double mean) noexcept {
+    double u = uniform01();
+    if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+    return -mean * std::log1p(-u);
+  }
+
+  // Fork an independent deterministic child stream (per node / per task).
+  Rng fork() noexcept { return Rng(next() ^ 0xA5A5A5A5A5A5A5A5ull); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace hpcbb

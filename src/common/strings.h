@@ -1,0 +1,31 @@
+// Small string utilities used by path handling and config parsing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpcbb {
+
+std::vector<std::string> split(std::string_view s, char sep);
+
+std::string_view trim(std::string_view s) noexcept;
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+
+// FNV-1a, used for key -> shard hashing and path -> pattern seeds.
+constexpr std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// "1.50 GB/s"-style human formatting for reports.
+std::string format_bytes(std::uint64_t bytes);
+std::string format_duration_ns(std::uint64_t t_ns);
+
+}  // namespace hpcbb

@@ -1,0 +1,48 @@
+// Size and time unit helpers. Simulated time is a raw nanosecond count
+// (SimTime in sim/); these helpers keep call sites legible.
+#pragma once
+
+#include <cstdint>
+
+namespace hpcbb {
+
+inline constexpr std::uint64_t KiB = 1024ull;
+inline constexpr std::uint64_t MiB = 1024ull * KiB;
+inline constexpr std::uint64_t GiB = 1024ull * MiB;
+inline constexpr std::uint64_t TiB = 1024ull * GiB;
+
+// Decimal units: link/device bandwidths are conventionally quoted decimal.
+inline constexpr std::uint64_t KB = 1000ull;
+inline constexpr std::uint64_t MB = 1000ull * KB;
+inline constexpr std::uint64_t GB = 1000ull * MB;
+
+namespace duration {
+inline constexpr std::uint64_t ns = 1ull;
+inline constexpr std::uint64_t us = 1000ull;
+inline constexpr std::uint64_t ms = 1000ull * us;
+inline constexpr std::uint64_t sec = 1000ull * ms;
+}  // namespace duration
+
+// Time to move `bytes` at `bytes_per_sec`, rounded up to a whole nanosecond.
+constexpr std::uint64_t transfer_time_ns(std::uint64_t bytes,
+                                         std::uint64_t bytes_per_sec) {
+  if (bytes_per_sec == 0) return 0;
+  // bytes * 1e9 can overflow for multi-TiB transfers; split into whole
+  // seconds plus remainder to stay within 64 bits.
+  const std::uint64_t whole = bytes / bytes_per_sec;
+  const std::uint64_t rem = bytes % bytes_per_sec;
+  return whole * duration::sec +
+         (rem * duration::sec + bytes_per_sec - 1) / bytes_per_sec;
+}
+
+constexpr double ns_to_sec(std::uint64_t t_ns) {
+  return static_cast<double>(t_ns) / 1e9;
+}
+
+// Throughput in MB/s (decimal, matching Hadoop TestDFSIO reporting).
+constexpr double throughput_mbps(std::uint64_t bytes, std::uint64_t t_ns) {
+  if (t_ns == 0) return 0.0;
+  return static_cast<double>(bytes) / 1e6 / ns_to_sec(t_ns);
+}
+
+}  // namespace hpcbb

@@ -1,0 +1,145 @@
+#include "hdfs/datanode.h"
+
+#include "sim/sync.h"
+
+namespace hpcbb::hdfs {
+
+DataNode::DataNode(net::RpcHub& hub, net::NodeId node,
+                   const DataNodeParams& params)
+    : hub_(&hub), node_(node) {
+  device_ = std::make_unique<storage::Device>(
+      hub_->transport().fabric().simulation(), params.disk);
+  store_ = std::make_unique<storage::LocalStore>(*device_);
+
+  hub_->bind(node_, kDnWritePacket,
+             net::typed_handler<DnWritePacketRequest>(
+                 [this](auto req) { return handle_write_packet(req); }));
+  hub_->bind(node_, kDnRead, net::typed_handler<DnReadRequest>([this](
+      auto req) { return handle_read(req); }));
+  hub_->bind(node_, kDnDeleteBlock,
+             net::typed_handler<DnDeleteBlockRequest>(
+                 [this](auto req) { return handle_delete(req); }));
+  hub_->bind(node_, kDnReplicate,
+             net::typed_handler<DnReplicateRequest>(
+                 [this](auto req) { return handle_replicate(req); }));
+  hub_->bind(node_, kDnPing, net::typed_handler<DnPingRequest>([this](
+      auto req) { return handle_ping(req); }));
+}
+
+DataNode::~DataNode() {
+  for (const net::Port port :
+       {kDnWritePacket, kDnRead, kDnDeleteBlock, kDnReplicate, kDnPing}) {
+    hub_->unbind(node_, port);
+  }
+}
+
+void DataNode::corrupt_block(BlockId id) {
+  // Flip a data byte in place: the stored bytes no longer match the
+  // writer-registered CRC, so full-block reads must fail with kDataLoss.
+  store_->flip_byte(block_name(id), 0);
+}
+
+sim::Task<net::RpcResponse> DataNode::handle_write_packet(
+    std::shared_ptr<const DnWritePacketRequest> req) {
+  if (crashed_) {
+    co_return net::rpc_error(error(StatusCode::kUnavailable, "datanode down"));
+  }
+  const std::string name = block_name(req->block_id);
+
+  if (req->downstream.empty()) {
+    Status st = co_await store_->write_at(name, req->offset, *req->data);
+    if (!st.is_ok()) co_return net::rpc_error(std::move(st));
+    co_return net::RpcResponse{Status::ok(), nullptr, kHeaderBytes};
+  }
+
+  // Forward downstream while writing locally (pipeline overlap).
+  auto fwd = std::make_shared<DnWritePacketRequest>();
+  fwd->block_id = req->block_id;
+  fwd->offset = req->offset;
+  fwd->data = req->data;
+  fwd->downstream.assign(req->downstream.begin() + 1, req->downstream.end());
+  const net::NodeId next = req->downstream.front();
+
+  sim::Simulation& sim = hub_->transport().fabric().simulation();
+  std::vector<sim::Task<Status>> ops;
+  ops.push_back([](net::RpcHub& hub, net::NodeId src, net::NodeId dst,
+                   std::shared_ptr<const DnWritePacketRequest> r)
+                    -> sim::Task<Status> {
+    co_return (co_await hub.call<void>(src, dst, kDnWritePacket, r)).status();
+  }(*hub_, node_, next, std::move(fwd)));
+  ops.push_back([](storage::LocalStore& store, std::string blk,
+                   std::uint64_t off, BytesPtr data) -> sim::Task<Status> {
+    co_return co_await store.write_at(std::move(blk), off, *data);
+  }(*store_, name, req->offset, req->data));
+
+  const std::vector<Status> results =
+      co_await sim::parallel_collect(sim, std::move(ops));
+  for (const Status& st : results) {
+    if (!st.is_ok()) co_return net::rpc_error(st);
+  }
+  co_return net::RpcResponse{Status::ok(), nullptr, kHeaderBytes};
+}
+
+sim::Task<net::RpcResponse> DataNode::handle_ping(
+    std::shared_ptr<const DnPingRequest>) {
+  if (crashed_) {
+    co_return net::rpc_error(error(StatusCode::kUnavailable, "datanode down"));
+  }
+  co_return net::RpcResponse{Status::ok(), nullptr, kHeaderBytes};
+}
+
+sim::Task<net::RpcResponse> DataNode::handle_read(
+    std::shared_ptr<const DnReadRequest> req) {
+  if (crashed_) {
+    co_return net::rpc_error(error(StatusCode::kUnavailable, "datanode down"));
+  }
+  const std::string name = block_name(req->block_id);
+  Result<Bytes> data = co_await store_->read(name, req->offset, req->length);
+  if (!data.is_ok()) co_return net::rpc_error(data.status());
+  auto reply = std::make_shared<DnReadReply>();
+  reply->data = make_bytes(std::move(data).value());
+  const std::uint64_t wire = reply->wire_size();
+  co_return net::rpc_ok<DnReadReply>(std::move(reply), wire);
+}
+
+sim::Task<net::RpcResponse> DataNode::handle_delete(
+    std::shared_ptr<const DnDeleteBlockRequest> req) {
+  if (crashed_) {
+    co_return net::rpc_error(error(StatusCode::kUnavailable, "datanode down"));
+  }
+  (void)store_->remove(block_name(req->block_id));
+  co_return net::RpcResponse{Status::ok(), nullptr, kHeaderBytes};
+}
+
+sim::Task<net::RpcResponse> DataNode::handle_replicate(
+    std::shared_ptr<const DnReplicateRequest> req) {
+  if (crashed_) {
+    co_return net::rpc_error(error(StatusCode::kUnavailable, "datanode down"));
+  }
+  const std::string name = block_name(req->block_id);
+  const std::uint64_t size = store_->object_size(name);
+  if (size == 0 && !store_->contains(name)) {
+    co_return net::rpc_error(error(StatusCode::kNotFound, "no such block"));
+  }
+  // Stream the block to the target in 1 MiB packets.
+  constexpr std::uint64_t kPacket = 1 * MiB;
+  for (std::uint64_t off = 0; off < size || (size == 0 && off == 0);
+       off += kPacket) {
+    const std::uint64_t len = std::min(kPacket, size - off);
+    Result<Bytes> piece = co_await store_->read(name, off, len);
+    if (!piece.is_ok()) co_return net::rpc_error(piece.status());
+    auto pkt = std::make_shared<DnWritePacketRequest>();
+    pkt->block_id = req->block_id;
+    pkt->offset = off;
+    pkt->data = make_bytes(std::move(piece).value());
+    auto result =
+        co_await hub_->call<void>(node_, req->target, kDnWritePacket,
+                                  std::shared_ptr<const DnWritePacketRequest>(
+                                      std::move(pkt)));
+    if (!result.is_ok()) co_return net::rpc_error(result.status());
+    if (size == 0) break;
+  }
+  co_return net::RpcResponse{Status::ok(), nullptr, kHeaderBytes};
+}
+
+}  // namespace hpcbb::hdfs

@@ -1,0 +1,68 @@
+// HDFS DataNode: stores blocks on the node-local disk and implements the
+// chained replication pipeline — each packet is written locally while being
+// forwarded to the next DataNode.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "hdfs/protocol.h"
+#include "net/rpc.h"
+#include "storage/local_store.h"
+
+namespace hpcbb::hdfs {
+
+struct DataNodeParams {
+  storage::DeviceParams disk = storage::hdd_preset();
+};
+
+class DataNode {
+ public:
+  DataNode(net::RpcHub& hub, net::NodeId node, const DataNodeParams& params);
+  ~DataNode();
+
+  DataNode(const DataNode&) = delete;
+  DataNode& operator=(const DataNode&) = delete;
+
+  [[nodiscard]] net::NodeId node() const noexcept { return node_; }
+  [[nodiscard]] std::uint64_t used_bytes() const noexcept {
+    return store_->used_bytes();
+  }
+  [[nodiscard]] std::uint64_t block_count() const noexcept {
+    return store_->object_count();
+  }
+  [[nodiscard]] bool has_block(BlockId id) const {
+    return store_->contains(block_name(id));
+  }
+  [[nodiscard]] storage::Device& device() noexcept { return *device_; }
+
+  // Process crash: node unreachable until restart; on-disk data survives.
+  void crash() { crashed_ = true; }
+  void restart() { crashed_ = false; }
+  [[nodiscard]] bool is_crashed() const noexcept { return crashed_; }
+
+  // Test hook: corrupt a stored block in place (checksum validation).
+  void corrupt_block(BlockId id);
+
+ private:
+  static std::string block_name(BlockId id) {
+    return "blk_" + std::to_string(id);
+  }
+
+  sim::Task<net::RpcResponse> handle_write_packet(
+      std::shared_ptr<const DnWritePacketRequest>);
+  sim::Task<net::RpcResponse> handle_read(std::shared_ptr<const DnReadRequest>);
+  sim::Task<net::RpcResponse> handle_delete(
+      std::shared_ptr<const DnDeleteBlockRequest>);
+  sim::Task<net::RpcResponse> handle_replicate(
+      std::shared_ptr<const DnReplicateRequest>);
+  sim::Task<net::RpcResponse> handle_ping(std::shared_ptr<const DnPingRequest>);
+
+  net::RpcHub* hub_;
+  net::NodeId node_;
+  std::unique_ptr<storage::Device> device_;
+  std::unique_ptr<storage::LocalStore> store_;
+  bool crashed_ = false;
+};
+
+}  // namespace hpcbb::hdfs

@@ -1,0 +1,134 @@
+#include "kvstore/client.h"
+
+#include <cassert>
+#include <map>
+
+namespace hpcbb::kv {
+
+Client::Client(net::RpcHub& hub, net::NodeId self,
+               std::vector<net::NodeId> servers, const ClientParams& params)
+    : hub_(&hub),
+      self_(self),
+      servers_(std::move(servers)),
+      ring_(static_cast<std::uint32_t>(servers_.size())),
+      params_(params) {
+  assert(!servers_.empty());
+}
+
+bool Client::use_rdma(std::uint64_t bytes) const noexcept {
+  return hub_->transport().params().one_sided_capable &&
+         bytes >= params_.rdma_threshold_bytes;
+}
+
+sim::Task<Status> Client::set(std::string key, BytesPtr value,
+                              bool pinned, std::uint64_t expiry_ns) {
+  const net::NodeId server = server_for(key);
+  return set_on(server, std::move(key), std::move(value), pinned, expiry_ns);
+}
+
+sim::Task<Status> Client::set_on(net::NodeId server, std::string key,
+                                 BytesPtr value, bool pinned,
+                                 std::uint64_t expiry_ns) {
+  auto req = std::make_shared<SetRequest>();
+  req->key = std::move(key);
+  req->value = std::move(value);
+  req->pinned = pinned;
+  req->expiry_ns = expiry_ns;
+  req->payload_by_rdma = use_rdma(req->value->size());
+
+  if (req->payload_by_rdma) {
+    // Push the payload into the server's registered region first; the
+    // control message then carries only key + metadata.
+    Status st = co_await hub_->transport().rdma_write(self_, server,
+                                                      req->value->size());
+    if (!st.is_ok()) co_return st;
+  }
+  auto result = co_await hub_->call<void>(self_, server, kOpSet,
+                                          std::shared_ptr<const SetRequest>(
+                                              std::move(req)));
+  co_return result.status();
+}
+
+sim::Task<Result<BytesPtr>> Client::get(std::string key) {
+  const net::NodeId server = server_for(key);
+  return get_from(server, std::move(key));
+}
+
+sim::Task<Result<BytesPtr>> Client::get_from(net::NodeId server,
+                                             std::string key) {
+  auto req = std::make_shared<const GetRequest>(GetRequest{std::move(key)});
+  auto result = co_await hub_->call<GetReply>(self_, server, kOpGet, req);
+  if (!result.is_ok()) co_return result.status();
+  const auto& reply = result.value();
+  if (!reply->inline_payload) {
+    // Metadata-only reply: pull the payload with a one-sided READ.
+    Status st = co_await hub_->transport().rdma_read(self_, server,
+                                                     reply->value->size());
+    if (!st.is_ok()) co_return st;
+  }
+  co_return reply->value;
+}
+
+sim::Task<Result<std::vector<std::optional<BytesPtr>>>> Client::multi_get(
+    std::vector<std::string> keys) {
+  // Group keys by owning server, preserving each key's output slot.
+  std::map<net::NodeId, std::vector<std::size_t>> by_server;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    by_server[server_for(keys[i])].push_back(i);
+  }
+
+  std::vector<std::optional<BytesPtr>> out(keys.size());
+  for (const auto& [server, indices] : by_server) {
+    auto req = std::make_shared<MultiGetRequest>();
+    req->keys.reserve(indices.size());
+    for (const std::size_t i : indices) req->keys.push_back(keys[i]);
+    auto result = co_await hub_->call<MultiGetReply>(
+        self_, server, kOpMultiGet,
+        std::shared_ptr<const MultiGetRequest>(std::move(req)));
+    if (!result.is_ok()) co_return result.status();
+    const auto& reply = result.value();
+    if (reply->values.size() != indices.size()) {
+      co_return error(StatusCode::kInternal, "multi-get shape mismatch");
+    }
+    for (std::size_t j = 0; j < indices.size(); ++j) {
+      out[indices[j]] = reply->values[j];
+    }
+  }
+  co_return out;
+}
+
+sim::Task<Status> Client::erase(std::string key) {
+  const net::NodeId server = server_for(key);
+  return erase_on(server, std::move(key));
+}
+
+sim::Task<Status> Client::erase_on(net::NodeId server,
+                                   std::string key) {
+  auto req = std::make_shared<const EraseRequest>(EraseRequest{std::move(key)});
+  auto result = co_await hub_->call<void>(self_, server, kOpErase, req);
+  co_return result.status();
+}
+
+sim::Task<Status> Client::pin(std::string key, bool pinned) {
+  const net::NodeId server = server_for(key);
+  return pin_on(server, std::move(key), pinned);
+}
+
+sim::Task<Status> Client::pin_on(net::NodeId server, std::string key,
+                                 bool pinned) {
+  auto req = std::make_shared<const PinRequest>(PinRequest{std::move(key), pinned});
+  auto result = co_await hub_->call<void>(self_, server, kOpPin, req);
+  co_return result.status();
+}
+
+sim::Task<Result<StatsReply>> Client::server_stats(
+    std::uint32_t server_index) {
+  assert(server_index < servers_.size());
+  auto req = std::make_shared<const StatsRequest>();
+  auto result = co_await hub_->call<StatsReply>(
+      self_, servers_[server_index], kOpStats, req);
+  if (!result.is_ok()) co_return result.status();
+  co_return *result.value();
+}
+
+}  // namespace hpcbb::kv

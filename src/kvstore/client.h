@@ -1,0 +1,77 @@
+// KV client: consistent-hash sharding across servers, with the hybrid
+// transport protocol of RDMA-Memcached — two-sided messages for small
+// values and control, one-sided RDMA READ/WRITE for large payloads.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "kvstore/protocol.h"
+#include "kvstore/ring.h"
+#include "net/rpc.h"
+
+namespace hpcbb::kv {
+
+struct ClientParams {
+  std::uint64_t rdma_threshold_bytes = 16 * KiB;
+};
+
+class Client {
+ public:
+  Client(net::RpcHub& hub, net::NodeId self,
+         std::vector<net::NodeId> servers, const ClientParams& params = {});
+
+  // Store a value under `key` on its ring owner.
+  sim::Task<Status> set(std::string key, BytesPtr value,
+                        bool pinned = false, std::uint64_t expiry_ns = 0);
+
+  sim::Task<Result<BytesPtr>> get(std::string key);
+
+  // Batched get from one round trip per involved server.
+  sim::Task<Result<std::vector<std::optional<BytesPtr>>>> multi_get(
+      std::vector<std::string> keys);
+
+  sim::Task<Status> erase(std::string key);
+  sim::Task<Status> pin(std::string key, bool pinned);
+  sim::Task<Result<StatsReply>> server_stats(std::uint32_t server_index);
+
+  [[nodiscard]] net::NodeId server_for(const std::string& key) const {
+    return servers_[ring_.server_for(key)];
+  }
+  [[nodiscard]] std::uint32_t server_index_for(const std::string& key) const {
+    return ring_.server_for(key);
+  }
+  [[nodiscard]] net::NodeId failover_server_for(const std::string& key) const {
+    return servers_[ring_.next_server_for(key)];
+  }
+  [[nodiscard]] const std::vector<net::NodeId>& servers() const noexcept {
+    return servers_;
+  }
+  [[nodiscard]] net::NodeId self() const noexcept { return self_; }
+
+  // Store a value on an explicit server (replica placement by upper layers).
+  sim::Task<Status> set_on(net::NodeId server, std::string key,
+                           BytesPtr value, bool pinned,
+                           std::uint64_t expiry_ns = 0);
+  sim::Task<Result<BytesPtr>> get_from(net::NodeId server,
+                                       std::string key);
+  sim::Task<Status> erase_on(net::NodeId server, std::string key);
+  sim::Task<Status> pin_on(net::NodeId server, std::string key,
+                           bool pinned);
+
+ private:
+  [[nodiscard]] bool use_rdma(std::uint64_t bytes) const noexcept;
+
+  net::RpcHub* hub_;
+  net::NodeId self_;
+  std::vector<net::NodeId> servers_;
+  HashRing ring_;
+  ClientParams params_;
+};
+
+}  // namespace hpcbb::kv

@@ -1,0 +1,89 @@
+// Ketama-style consistent-hash ring for client-side sharding across KV
+// servers (how memcached clients distribute keys). Virtual nodes smooth the
+// load; removing a server only remaps its own arc.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace hpcbb::kv {
+
+// FNV-1a has weak avalanche on short, similar strings ("server-0#1" vs
+// "server-0#2" differ only in a few bits), which clusters ring points by
+// server and defeats load spreading. A SplitMix64 finalizer fixes that.
+inline std::uint64_t ring_hash(std::string_view s) noexcept {
+  return SplitMix64(fnv1a(s)).next();
+}
+
+class HashRing {
+ public:
+  static constexpr std::uint32_t kDefaultVnodes = 100;
+
+  explicit HashRing(std::uint32_t server_count,
+                    std::uint32_t vnodes_per_server = kDefaultVnodes) {
+    assert(server_count > 0);
+    points_.reserve(static_cast<std::size_t>(server_count) * vnodes_per_server);
+    for (std::uint32_t s = 0; s < server_count; ++s) {
+      for (std::uint32_t v = 0; v < vnodes_per_server; ++v) {
+        const std::string label =
+            "server-" + std::to_string(s) + "#" + std::to_string(v);
+        points_.push_back({ring_hash(label), s});
+      }
+    }
+    std::sort(points_.begin(), points_.end());
+    server_count_ = server_count;
+  }
+
+  // Server index owning `key`.
+  [[nodiscard]] std::uint32_t server_for(std::string_view key) const {
+    return server_for_hash(ring_hash(key));
+  }
+
+  [[nodiscard]] std::uint32_t server_for_hash(std::uint64_t hash) const {
+    const auto it = std::upper_bound(points_.begin(), points_.end(),
+                                     Point{hash, ~0u});
+    return (it == points_.end() ? points_.front() : *it).server;
+  }
+
+  // The next distinct server clockwise from the key's owner — the failover
+  // target / replica location.
+  [[nodiscard]] std::uint32_t next_server_for(std::string_view key) const {
+    const std::uint64_t hash = ring_hash(key);
+    auto it = std::upper_bound(points_.begin(), points_.end(),
+                               Point{hash, ~0u});
+    const std::uint32_t primary =
+        (it == points_.end() ? points_.front() : *it).server;
+    if (server_count_ == 1) return primary;
+    for (std::size_t step = 0; step < points_.size(); ++step) {
+      if (it == points_.end()) it = points_.begin();
+      if (it->server != primary) return it->server;
+      ++it;
+    }
+    return primary;
+  }
+
+  [[nodiscard]] std::uint32_t server_count() const noexcept {
+    return server_count_;
+  }
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t server;
+    bool operator<(const Point& o) const noexcept {
+      return hash != o.hash ? hash < o.hash : server < o.server;
+    }
+  };
+
+  std::vector<Point> points_;
+  std::uint32_t server_count_ = 0;
+};
+
+}  // namespace hpcbb::kv

@@ -1,0 +1,152 @@
+#include "kvstore/server.h"
+
+namespace hpcbb::kv {
+
+Server::Server(net::RpcHub& hub, net::NodeId node, const ServerParams& params)
+    : hub_(&hub), node_(node), params_(params), store_(params.store) {
+  if (params_.persist_writes) {
+    journal_ = std::make_unique<storage::Device>(
+        hub_->transport().fabric().simulation(), params_.journal);
+  }
+  hub_->bind(node_, kOpSet, net::typed_handler<SetRequest>(
+                                [this](auto req) { return handle_set(req); }));
+  hub_->bind(node_, kOpGet, net::typed_handler<GetRequest>(
+                                [this](auto req) { return handle_get(req); }));
+  hub_->bind(node_, kOpMultiGet,
+             net::typed_handler<MultiGetRequest>(
+                 [this](auto req) { return handle_multi_get(req); }));
+  hub_->bind(node_, kOpErase,
+             net::typed_handler<EraseRequest>(
+                 [this](auto req) { return handle_erase(req); }));
+  hub_->bind(node_, kOpPin, net::typed_handler<PinRequest>(
+                                [this](auto req) { return handle_pin(req); }));
+  hub_->bind(node_, kOpStats,
+             net::typed_handler<StatsRequest>(
+                 [this](auto req) { return handle_stats(req); }));
+}
+
+Server::~Server() {
+  for (const net::Port port :
+       {kOpSet, kOpGet, kOpMultiGet, kOpErase, kOpPin, kOpStats}) {
+    hub_->unbind(node_, port);
+  }
+}
+
+void Server::crash() {
+  crashed_ = true;
+  store_.wipe();
+}
+
+void Server::restart() { crashed_ = false; }
+
+sim::Task<void> Server::charge_op(std::uint64_t copy_bytes) {
+  const sim::SimTime work =
+      params_.base_op_ns +
+      transfer_time_ns(copy_bytes, params_.memcpy_bytes_per_sec);
+  return hub_->transport().fabric().charge_cpu(node_, work);
+}
+
+namespace {
+net::RpcResponse unavailable() {
+  return net::rpc_error(
+      error(StatusCode::kUnavailable, "kv server crashed"));
+}
+}  // namespace
+
+sim::Task<net::RpcResponse> Server::handle_set(
+    std::shared_ptr<const SetRequest> req) {
+  if (crashed_) co_return unavailable();
+  // RDMA-placed payloads skip the receive-path copy.
+  co_await charge_op(req->payload_by_rdma ? 0 : req->value->size());
+  Status st = store_.set(req->key, *req->value,
+                         SetOptions{.pinned = req->pinned,
+                                    .expiry_ns = req->expiry_ns});
+  if (!st.is_ok()) co_return net::rpc_error(std::move(st));
+  if (journal_ != nullptr) {
+    // Append-only journal on the server's local SSD.
+    co_await journal_->write(journal_cursor_, req->value->size());
+    journal_cursor_ += req->value->size();
+  }
+  co_return net::RpcResponse{Status::ok(), nullptr, kMsgHeaderBytes};
+}
+
+sim::Task<net::RpcResponse> Server::handle_get(
+    std::shared_ptr<const GetRequest> req) {
+  if (crashed_) co_return unavailable();
+  const std::uint64_t now = hub_->transport().fabric().simulation().now();
+  Result<Bytes> value = store_.get(req->key, now);
+  if (!value.is_ok()) {
+    co_await charge_op(0);
+    co_return net::rpc_error(value.status());
+  }
+  const bool use_rdma =
+      hub_->transport().params().one_sided_capable &&
+      value.value().size() >= params_.rdma_threshold_bytes;
+  // Inline replies copy the value onto the send path; RDMA replies only
+  // pass metadata — the client pulls the payload with a one-sided READ.
+  co_await charge_op(use_rdma ? 0 : value.value().size());
+  auto reply = std::make_shared<GetReply>();
+  reply->value = make_bytes(std::move(value).value());
+  reply->inline_payload = !use_rdma;
+  const std::uint64_t wire = reply->wire_size();
+  co_return net::rpc_ok<GetReply>(std::move(reply), wire);
+}
+
+sim::Task<net::RpcResponse> Server::handle_multi_get(
+    std::shared_ptr<const MultiGetRequest> req) {
+  if (crashed_) co_return unavailable();
+  const std::uint64_t now = hub_->transport().fabric().simulation().now();
+  auto reply = std::make_shared<MultiGetReply>();
+  reply->values.reserve(req->keys.size());
+  std::uint64_t copy_bytes = 0;
+  for (const auto& key : req->keys) {
+    Result<Bytes> value = store_.get(key, now);
+    if (value.is_ok()) {
+      copy_bytes += value.value().size();
+      reply->values.emplace_back(make_bytes(std::move(value).value()));
+    } else {
+      reply->values.emplace_back(std::nullopt);
+    }
+  }
+  co_await charge_op(copy_bytes);
+  const std::uint64_t wire = reply->wire_size();
+  co_return net::rpc_ok<MultiGetReply>(std::move(reply), wire);
+}
+
+sim::Task<net::RpcResponse> Server::handle_erase(
+    std::shared_ptr<const EraseRequest> req) {
+  if (crashed_) co_return unavailable();
+  co_await charge_op(0);
+  const bool existed = store_.erase(req->key);
+  if (!existed) {
+    co_return net::rpc_error(error(StatusCode::kNotFound, "key not found"));
+  }
+  co_return net::RpcResponse{Status::ok(), nullptr, kMsgHeaderBytes};
+}
+
+sim::Task<net::RpcResponse> Server::handle_pin(
+    std::shared_ptr<const PinRequest> req) {
+  if (crashed_) co_return unavailable();
+  co_await charge_op(0);
+  Status st = store_.set_pinned(req->key, req->pinned);
+  if (!st.is_ok()) co_return net::rpc_error(std::move(st));
+  co_return net::RpcResponse{Status::ok(), nullptr, kMsgHeaderBytes};
+}
+
+sim::Task<net::RpcResponse> Server::handle_stats(
+    std::shared_ptr<const StatsRequest>) {
+  if (crashed_) co_return unavailable();
+  co_await charge_op(0);
+  const StoreStats s = store_.stats();
+  auto reply = std::make_shared<StatsReply>();
+  reply->items = s.items;
+  reply->bytes = s.bytes;
+  reply->hits = s.hits;
+  reply->misses = s.misses;
+  reply->evictions = s.evictions;
+  reply->set_failures = s.set_failures;
+  const std::uint64_t wire = reply->wire_size();
+  co_return net::rpc_ok<StatsReply>(std::move(reply), wire);
+}
+
+}  // namespace hpcbb::kv

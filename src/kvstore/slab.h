@@ -1,0 +1,75 @@
+// Slab allocator, memcached-style.
+//
+// Memory is carved into fixed-size pages; each page is assigned to a size
+// class whose chunk size grows geometrically. Items are stored in-place in
+// chunks (header + key + value), so the store's memory ceiling is a real,
+// enforced budget — the property the burst buffer's eviction/backpressure
+// behaviour (experiment F11) depends on.
+//
+// Not internally synchronized: the owning KvShard serializes access.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace hpcbb::kv {
+
+struct SlabParams {
+  std::uint64_t memory_budget = 64ull << 20;  // bytes of page memory
+  // Page equals the largest chunk so burst-buffer-sized (1 MiB) values pack
+  // one per page with no internal waste.
+  std::uint32_t page_size = (1u << 20) + (64u << 10);
+  std::uint32_t chunk_min = 96;               // smallest chunk
+  double growth_factor = 1.25;
+  std::uint32_t chunk_max = (1u << 20) + (64u << 10);  // fits a 1 MiB value
+};
+
+class SlabAllocator {
+ public:
+  explicit SlabAllocator(const SlabParams& params);
+
+  SlabAllocator(const SlabAllocator&) = delete;
+  SlabAllocator& operator=(const SlabAllocator&) = delete;
+
+  // Size class whose chunk fits `bytes`, or -1 if larger than chunk_max.
+  [[nodiscard]] int class_for(std::uint64_t bytes) const noexcept;
+
+  [[nodiscard]] std::uint32_t chunk_size(int cls) const noexcept {
+    return class_sizes_[static_cast<std::size_t>(cls)];
+  }
+  [[nodiscard]] int class_count() const noexcept {
+    return static_cast<int>(class_sizes_.size());
+  }
+
+  // A chunk from the class's free list, growing the class by one page if
+  // budget allows. nullptr means: evict something from this class or fail.
+  [[nodiscard]] void* allocate(int cls);
+  void deallocate(int cls, void* chunk) noexcept;
+
+  [[nodiscard]] std::uint64_t allocated_pages_bytes() const noexcept {
+    return static_cast<std::uint64_t>(pages_.size()) * params_.page_size;
+  }
+  [[nodiscard]] std::uint64_t memory_budget() const noexcept {
+    return params_.memory_budget;
+  }
+  [[nodiscard]] std::uint64_t chunks_in_use(int cls) const noexcept {
+    return per_class_[static_cast<std::size_t>(cls)].chunks_in_use;
+  }
+  [[nodiscard]] std::uint64_t total_chunks_in_use() const noexcept;
+
+ private:
+  bool grow_class(int cls);
+
+  struct ClassState {
+    std::vector<void*> free_chunks;
+    std::uint64_t chunks_in_use = 0;
+  };
+
+  SlabParams params_;
+  std::vector<std::uint32_t> class_sizes_;
+  std::vector<ClassState> per_class_;
+  std::vector<std::unique_ptr<std::byte[]>> pages_;
+};
+
+}  // namespace hpcbb::kv

@@ -1,0 +1,324 @@
+#include "kvstore/store.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace hpcbb::kv {
+
+// ---- Shard -----------------------------------------------------------------
+
+class KvStore::Shard {
+ public:
+  Shard(const SlabParams& slab_params, std::uint32_t bucket_count)
+      : slab_(slab_params), buckets_(bucket_count, nullptr),
+        bucket_mask_(bucket_count - 1),
+        lru_heads_(static_cast<std::size_t>(slab_.class_count()), nullptr),
+        lru_tails_(static_cast<std::size_t>(slab_.class_count()), nullptr) {
+    assert((bucket_count & bucket_mask_) == 0 && "bucket count power of two");
+  }
+
+  ~Shard() = default;  // chunk memory is owned by the slab's pages
+
+  Status set(std::uint64_t hash, std::string_view key,
+             std::span<const std::uint8_t> value, const SetOptions& options) {
+    const std::uint64_t need = Item::footprint(key.size(), value.size());
+    const int cls = slab_.class_for(need);
+    if (cls < 0) {
+      return error(StatusCode::kInvalidArgument,
+                   "value too large for slab chunks");
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    void* chunk = allocate_with_eviction(cls);
+    if (chunk == nullptr) {
+      ++stats_.set_failures;
+      return error(StatusCode::kResourceExhausted,
+                   "store memory exhausted (pinned data?)");
+    }
+
+    // Replace-under-same-key: unlink the old item only after the new chunk
+    // is secured, so a failed set never destroys existing data.
+    if (Item* old = find(hash, key)) {
+      unlink_and_free(old);
+    }
+
+    auto* item = new (chunk) Item();
+    item->key_hash = hash;
+    item->slab_class = static_cast<std::uint16_t>(cls);
+    item->pinned = options.pinned;
+    item->expiry_ns = options.expiry_ns;
+    item->fill(key, value);
+
+    link_hash(item);
+    link_lru_front(item);
+    ++stats_.items;
+    stats_.bytes += key.size() + value.size();
+    return Status::ok();
+  }
+
+  Result<Bytes> get(std::uint64_t hash, std::string_view key,
+                    std::uint64_t now_ns) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Item* item = find_live(hash, key, now_ns);
+    if (item == nullptr) {
+      ++stats_.misses;
+      return error(StatusCode::kNotFound, "key not found");
+    }
+    ++stats_.hits;
+    touch(item);
+    const auto value = item->value();
+    return Bytes(value.begin(), value.end());
+  }
+
+  Result<std::uint64_t> value_size(std::uint64_t hash, std::string_view key,
+                                   std::uint64_t now_ns) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Item* item = find_live(hash, key, now_ns);
+    if (item == nullptr) {
+      ++stats_.misses;
+      return error(StatusCode::kNotFound, "key not found");
+    }
+    ++stats_.hits;
+    touch(item);
+    return std::uint64_t{item->value_len};
+  }
+
+  bool erase(std::uint64_t hash, std::string_view key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Item* item = find(hash, key);
+    if (item == nullptr) return false;
+    unlink_and_free(item);
+    return true;
+  }
+
+  Status set_pinned(std::uint64_t hash, std::string_view key, bool pinned) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Item* item = find(hash, key);
+    if (item == nullptr) return error(StatusCode::kNotFound, "key not found");
+    item->pinned = pinned;
+    return Status::ok();
+  }
+
+  bool contains(std::uint64_t hash, std::string_view key,
+                std::uint64_t now_ns) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Item* it = buckets_[bucket_of(hash)]; it; it = it->hash_next) {
+      if (it->key_hash == hash && it->key() == key) {
+        return !expired(it, now_ns);
+      }
+    }
+    return false;
+  }
+
+  void wipe() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& head : buckets_) {
+      while (head != nullptr) {
+        Item* item = head;
+        head = item->hash_next;
+        // Hash chains own the items; LRU is cleared wholesale below.
+        slab_.deallocate(item->slab_class, item);
+      }
+    }
+    std::fill(lru_heads_.begin(), lru_heads_.end(), nullptr);
+    std::fill(lru_tails_.begin(), lru_tails_.end(), nullptr);
+    stats_.items = 0;
+    stats_.bytes = 0;
+  }
+
+  [[nodiscard]] StoreStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  [[nodiscard]] const SlabAllocator& slab() const noexcept { return slab_; }
+
+ private:
+  [[nodiscard]] std::size_t bucket_of(std::uint64_t hash) const noexcept {
+    // Low bits select the shard (KvStore); mix the rest for the bucket.
+    return (hash >> 16) & bucket_mask_;
+  }
+
+  Item* find(std::uint64_t hash, std::string_view key) const noexcept {
+    for (Item* it = buckets_[bucket_of(hash)]; it; it = it->hash_next) {
+      if (it->key_hash == hash && it->key() == key) return it;
+    }
+    return nullptr;
+  }
+
+  static bool expired(const Item* item, std::uint64_t now_ns) noexcept {
+    return item->expiry_ns != 0 && now_ns >= item->expiry_ns;
+  }
+
+  Item* find_live(std::uint64_t hash, std::string_view key,
+                  std::uint64_t now_ns) {
+    Item* item = find(hash, key);
+    if (item == nullptr) return nullptr;
+    if (expired(item, now_ns)) {
+      unlink_and_free(item);
+      ++stats_.expired;
+      return nullptr;
+    }
+    return item;
+  }
+
+  // Allocation with LRU eviction from the same class; pinned items are
+  // skipped (they are the burst buffer's not-yet-durable blocks).
+  void* allocate_with_eviction(int cls) {
+    if (void* chunk = slab_.allocate(cls)) return chunk;
+    Item* victim = lru_tails_[static_cast<std::size_t>(cls)];
+    while (victim != nullptr && victim->pinned) victim = victim->lru_prev;
+    if (victim == nullptr) return nullptr;
+    unlink_and_free(victim);
+    ++stats_.evictions;
+    return slab_.allocate(cls);
+  }
+
+  void link_hash(Item* item) noexcept {
+    Item*& head = buckets_[bucket_of(item->key_hash)];
+    item->hash_next = head;
+    head = item;
+  }
+
+  void unlink_hash(Item* item) noexcept {
+    Item** cursor = &buckets_[bucket_of(item->key_hash)];
+    while (*cursor != item) cursor = &(*cursor)->hash_next;
+    *cursor = item->hash_next;
+  }
+
+  void link_lru_front(Item* item) noexcept {
+    auto& head = lru_heads_[item->slab_class];
+    auto& tail = lru_tails_[item->slab_class];
+    item->lru_prev = nullptr;
+    item->lru_next = head;
+    if (head != nullptr) head->lru_prev = item;
+    head = item;
+    if (tail == nullptr) tail = item;
+  }
+
+  void unlink_lru(Item* item) noexcept {
+    auto& head = lru_heads_[item->slab_class];
+    auto& tail = lru_tails_[item->slab_class];
+    if (item->lru_prev != nullptr) item->lru_prev->lru_next = item->lru_next;
+    if (item->lru_next != nullptr) item->lru_next->lru_prev = item->lru_prev;
+    if (head == item) head = item->lru_next;
+    if (tail == item) tail = item->lru_prev;
+    item->lru_prev = item->lru_next = nullptr;
+  }
+
+  void touch(Item* item) noexcept {
+    unlink_lru(item);
+    link_lru_front(item);
+  }
+
+  void unlink_and_free(Item* item) noexcept {
+    unlink_hash(item);
+    unlink_lru(item);
+    assert(stats_.items > 0);
+    --stats_.items;
+    stats_.bytes -= item->key_len + item->value_len;
+    slab_.deallocate(item->slab_class, item);
+  }
+
+  mutable std::mutex mu_;
+  SlabAllocator slab_;
+  std::vector<Item*> buckets_;
+  std::uint64_t bucket_mask_;
+  std::vector<Item*> lru_heads_;
+  std::vector<Item*> lru_tails_;
+  StoreStats stats_;
+};
+
+// ---- KvStore ---------------------------------------------------------------
+
+KvStore::KvStore(const StoreParams& params) {
+  assert(params.shard_count > 0);
+  assert((params.buckets_per_shard & (params.buckets_per_shard - 1)) == 0);
+  // Every shard must afford at least one slab page, or large values would
+  // be unstorable; small budgets get fewer shards rather than dead ones.
+  const std::uint64_t max_shards =
+      std::max<std::uint64_t>(1, params.memory_budget / params.slab.page_size);
+  const auto shard_count = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(params.shard_count, max_shards));
+  SlabParams slab = params.slab;
+  slab.memory_budget = params.memory_budget / shard_count;
+  shards_.reserve(shard_count);
+  for (std::uint32_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(
+        std::make_unique<Shard>(slab, params.buckets_per_shard));
+  }
+}
+
+KvStore::~KvStore() = default;
+
+KvStore::Shard& KvStore::shard_for(std::uint64_t hash) const noexcept {
+  return *shards_[hash % shards_.size()];
+}
+
+Status KvStore::set(std::string_view key, std::span<const std::uint8_t> value,
+                    const SetOptions& options) {
+  const std::uint64_t hash = fnv1a(key);
+  return shard_for(hash).set(hash, key, value, options);
+}
+
+Result<Bytes> KvStore::get(std::string_view key, std::uint64_t now_ns) {
+  const std::uint64_t hash = fnv1a(key);
+  return shard_for(hash).get(hash, key, now_ns);
+}
+
+Result<std::uint64_t> KvStore::value_size(std::string_view key,
+                                          std::uint64_t now_ns) {
+  const std::uint64_t hash = fnv1a(key);
+  return shard_for(hash).value_size(hash, key, now_ns);
+}
+
+bool KvStore::erase(std::string_view key) {
+  const std::uint64_t hash = fnv1a(key);
+  return shard_for(hash).erase(hash, key);
+}
+
+Status KvStore::set_pinned(std::string_view key, bool pinned) {
+  const std::uint64_t hash = fnv1a(key);
+  return shard_for(hash).set_pinned(hash, key, pinned);
+}
+
+bool KvStore::contains(std::string_view key, std::uint64_t now_ns) const {
+  const std::uint64_t hash = fnv1a(key);
+  return shard_for(hash).contains(hash, key, now_ns);
+}
+
+void KvStore::wipe() {
+  for (auto& shard : shards_) shard->wipe();
+}
+
+StoreStats KvStore::stats() const {
+  StoreStats total;
+  for (const auto& shard : shards_) {
+    const StoreStats s = shard->stats();
+    total.items += s.items;
+    total.bytes += s.bytes;
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.expired += s.expired;
+    total.set_failures += s.set_failures;
+  }
+  return total;
+}
+
+std::uint64_t KvStore::memory_budget() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->slab().memory_budget();
+  return total;
+}
+
+std::uint64_t KvStore::max_value_size(std::uint64_t key_len) const {
+  const SlabAllocator& slab = shards_.front()->slab();
+  const std::uint64_t chunk = slab.chunk_size(slab.class_count() - 1);
+  const std::uint64_t overhead = sizeof(Item) + key_len;
+  return chunk > overhead ? chunk - overhead : 0;
+}
+
+}  // namespace hpcbb::kv

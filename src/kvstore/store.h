@@ -1,0 +1,99 @@
+// KvStore: a thread-safe, memory-bounded key-value store with memcached
+// semantics — slab allocation, per-class LRU eviction, TTL expiry, and a
+// pin bit (the burst buffer pins dirty blocks until they are flushed to
+// Lustre, so acknowledged data is never silently evicted).
+//
+// Concurrency design: the store is an array of independent shards, each
+// fully guarded by its own mutex (hash buckets, LRU lists, and slab arena
+// are all per-shard). Keys map to shards by hash. This gives real-thread
+// scalability without cross-lock ordering hazards; unit tests and the M1
+// microbenchmarks exercise it from real threads, the simulator from one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "kvstore/item.h"
+#include "kvstore/slab.h"
+
+namespace hpcbb::kv {
+
+struct StoreParams {
+  std::uint64_t memory_budget = 256ull << 20;
+  std::uint32_t shard_count = 8;
+  std::uint32_t buckets_per_shard = 1u << 14;
+  SlabParams slab;  // memory_budget is distributed over shards
+};
+
+struct SetOptions {
+  bool pinned = false;
+  std::uint64_t expiry_ns = 0;  // absolute simulated/real time; 0 = never
+};
+
+struct StoreStats {
+  std::uint64_t items = 0;
+  std::uint64_t bytes = 0;  // key+value payload bytes
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t set_failures = 0;  // memory exhausted (all-pinned or budget)
+};
+
+class KvStore {
+ public:
+  explicit KvStore(const StoreParams& params);
+  ~KvStore();
+
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  // Insert or replace. Fails kResourceExhausted when the budget is full of
+  // pinned/unevictable data, kInvalidArgument when the value exceeds the
+  // largest slab chunk. On failure an existing value under `key` survives.
+  Status set(std::string_view key, std::span<const std::uint8_t> value,
+             const SetOptions& options = {});
+
+  // Copy of the value, LRU-touched. `now_ns` drives TTL expiry.
+  Result<Bytes> get(std::string_view key, std::uint64_t now_ns = 0);
+
+  // Value size without copying (used by the RDMA GET protocol to size the
+  // one-sided read); also LRU-touched.
+  Result<std::uint64_t> value_size(std::string_view key,
+                                   std::uint64_t now_ns = 0);
+
+  // true if the key existed.
+  bool erase(std::string_view key);
+
+  // Flip the pin bit; kNotFound if absent.
+  Status set_pinned(std::string_view key, bool pinned);
+
+  [[nodiscard]] bool contains(std::string_view key,
+                              std::uint64_t now_ns = 0) const;
+
+  // Drop everything (server crash: memory contents are gone).
+  void wipe();
+
+  [[nodiscard]] StoreStats stats() const;
+  [[nodiscard]] std::uint64_t memory_budget() const noexcept;
+  [[nodiscard]] std::uint32_t shard_count() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  // Largest storable value for a key of the given length.
+  [[nodiscard]] std::uint64_t max_value_size(std::uint64_t key_len) const;
+
+ private:
+  class Shard;
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t hash) const noexcept;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace hpcbb::kv

@@ -1,0 +1,119 @@
+#include "net/fabric.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hpcbb::net {
+
+namespace {
+sim::SimTime serialization_ns(std::uint64_t bytes,
+                              std::uint64_t bytes_per_sec) noexcept {
+  return transfer_time_ns(bytes, bytes_per_sec);
+}
+}  // namespace
+
+Fabric::Fabric(sim::Simulation& sim, std::uint32_t node_count,
+               const FabricParams& params)
+    : sim_(&sim), params_(params), links_(node_count) {
+  racks_.resize(rack_count());
+  cpu_.reserve(node_count);
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    // CPU work is measured in nanoseconds; one dedicated protocol-processing
+    // core per node => 1e9 ns of work per second.
+    cpu_.push_back(
+        std::make_unique<sim::BandwidthQueue>(sim, duration::sec));
+  }
+}
+
+sim::Task<Status> Fabric::deliver(NodeId src, NodeId dst, std::uint64_t bytes,
+                                  std::uint64_t flow_rate_cap) {
+  assert(src < links_.size() && dst < links_.size());
+  if (!links_[src].up || !links_[dst].up) {
+    // Connection setup/teardown detection is not free.
+    co_await sim_->delay(params_.hop_latency_ns);
+    co_return error(StatusCode::kUnavailable,
+                    links_[dst].up ? "source node down" : "peer node down");
+  }
+
+  links_[src].bytes_sent += bytes;
+  links_[dst].bytes_received += bytes;
+
+  if (src == dst) {
+    // FIFO serialization on the node's memory path: a small message
+    // submitted after a large one must not overtake it, or same-connection
+    // protocol streams (HDFS pipelines) would reorder.
+    NodeLink& link = links_[src];
+    const sim::SimTime start = std::max(sim_->now(), link.loopback_next_free);
+    link.loopback_next_free =
+        start + serialization_ns(bytes, params_.loopback_bytes_per_sec);
+    co_await sim_->delay_until(link.loopback_next_free +
+                               params_.loopback_latency_ns);
+    co_return Status::ok();
+  }
+
+  const std::uint64_t rate =
+      flow_rate_cap == 0
+          ? params_.link_bytes_per_sec
+          : std::min(params_.link_bytes_per_sec, flow_rate_cap);
+  const sim::SimTime ser = serialization_ns(bytes, rate);
+  const sim::SimTime now = sim_->now();
+
+  NodeLink& s = links_[src];
+  NodeLink& d = links_[dst];
+  const sim::SimTime start_up = std::max(now, s.up_next_free);
+  s.up_next_free = start_up + ser;
+
+  // Cut-through: the head of the message reaches the next hop one latency
+  // after it starts leaving the previous one; the tail cannot arrive before
+  // it left. Cross-rack traffic additionally serializes on the shared rack
+  // uplink and downlink (oversubscription) and pays the spine latency.
+  sim::SimTime head = start_up + params_.hop_latency_ns;
+  sim::SimTime tail = start_up + ser + params_.hop_latency_ns;
+  if (rack_of(src) != rack_of(dst)) {
+    const sim::SimTime rack_ser =
+        serialization_ns(bytes, params_.rack_uplink_bytes_per_sec);
+    RackLink& src_rack = racks_[rack_of(src)];
+    RackLink& dst_rack = racks_[rack_of(dst)];
+    const sim::SimTime start_rack_up = std::max(head, src_rack.up_next_free);
+    src_rack.up_next_free = start_rack_up + rack_ser;
+    const sim::SimTime at_spine =
+        start_rack_up + params_.spine_latency_ns;
+    const sim::SimTime start_rack_down =
+        std::max(at_spine, dst_rack.down_next_free);
+    dst_rack.down_next_free = start_rack_down + rack_ser;
+    head = start_rack_down + params_.spine_latency_ns;
+    tail = std::max(tail, start_rack_down + rack_ser +
+                              params_.spine_latency_ns);
+  }
+  const sim::SimTime start_down = std::max(head, d.down_next_free);
+  d.down_next_free = start_down + ser;
+  const sim::SimTime completion = std::max(start_down + ser, tail);
+
+  co_await sim_->delay_until(completion);
+  co_return Status::ok();
+}
+
+void Fabric::set_node_up(NodeId node, bool up) {
+  assert(node < links_.size());
+  links_[node].up = up;
+}
+
+bool Fabric::is_up(NodeId node) const {
+  assert(node < links_.size());
+  return links_[node].up;
+}
+
+sim::Task<void> Fabric::charge_cpu(NodeId node, sim::SimTime work_ns) {
+  assert(node < cpu_.size());
+  return cpu_[node]->transfer(work_ns);
+}
+
+std::uint64_t Fabric::bytes_sent(NodeId node) const {
+  return links_[node].bytes_sent;
+}
+
+std::uint64_t Fabric::bytes_received(NodeId node) const {
+  return links_[node].bytes_received;
+}
+
+}  // namespace hpcbb::net

@@ -1,0 +1,121 @@
+// RPC layer over Transport.
+//
+// Handlers run as coroutines in the caller's chain: server processing time,
+// device waits, and nested RPCs all accrue to the simulated clock naturally.
+// Because everything lives in one host process, request/response bodies move
+// by shared_ptr while the *wire* cost is modeled from each message's
+// declared wire size.
+//
+// Failure semantics: if the destination node is down (Fabric) or nothing is
+// bound to the port (service stopped), the call completes with kUnavailable
+// after the connection-attempt latency — callers never hang.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "net/transport.h"
+#include "sim/task.h"
+
+namespace hpcbb::net {
+
+using Port = std::uint16_t;
+
+struct RpcResponse {
+  Status status;
+  std::shared_ptr<const void> body;  // null on error responses
+  std::uint64_t wire_bytes = 64;     // headers-only reply by default
+};
+
+template <typename T>
+RpcResponse rpc_ok(std::shared_ptr<const T> body, std::uint64_t wire_bytes) {
+  return RpcResponse{Status::ok(), std::move(body), wire_bytes};
+}
+
+inline RpcResponse rpc_error(Status status) {
+  return RpcResponse{std::move(status), nullptr, 64};
+}
+
+class RpcHub {
+ public:
+  using Handler =
+      std::function<sim::Task<RpcResponse>(std::shared_ptr<const void>)>;
+
+  explicit RpcHub(Transport& transport) noexcept : transport_(&transport) {}
+
+  RpcHub(const RpcHub&) = delete;
+  RpcHub& operator=(const RpcHub&) = delete;
+
+  // Register a service endpoint. Binding an occupied endpoint is a bug.
+  void bind(NodeId node, Port port, Handler handler) {
+    const auto [it, inserted] =
+        handlers_.emplace(endpoint_key(node, port), std::move(handler));
+    (void)it;
+    assert(inserted && "endpoint already bound");
+  }
+
+  void unbind(NodeId node, Port port) {
+    handlers_.erase(endpoint_key(node, port));
+  }
+
+  [[nodiscard]] bool is_bound(NodeId node, Port port) const {
+    return handlers_.contains(endpoint_key(node, port));
+  }
+
+  [[nodiscard]] Transport& transport() noexcept { return *transport_; }
+
+  // Untyped call; the typed wrapper below is what services use.
+  sim::Task<RpcResponse> call_raw(NodeId src, NodeId dst, Port port,
+                                  std::shared_ptr<const void> request,
+                                  std::uint64_t request_wire_bytes) {
+    Status st = co_await transport_->send(src, dst, request_wire_bytes);
+    if (!st.is_ok()) co_return rpc_error(std::move(st));
+
+    const auto it = handlers_.find(endpoint_key(dst, port));
+    if (it == handlers_.end()) {
+      co_return rpc_error(
+          error(StatusCode::kUnavailable, "connection refused"));
+    }
+    RpcResponse response = co_await it->second(std::move(request));
+
+    st = co_await transport_->send(dst, src, response.wire_bytes);
+    if (!st.is_ok()) co_return rpc_error(std::move(st));
+    co_return response;
+  }
+
+  // Typed call: Req must expose wire_size(). Returns the typed body or the
+  // first error encountered (transport or application).
+  template <typename Resp, typename Req>
+  sim::Task<Result<std::shared_ptr<const Resp>>> call(
+      NodeId src, NodeId dst, Port port, std::shared_ptr<const Req> request) {
+    const std::uint64_t wire = request->wire_size();
+    RpcResponse response =
+        co_await call_raw(src, dst, port, std::move(request), wire);
+    if (!response.status.is_ok()) co_return response.status;
+    co_return std::static_pointer_cast<const Resp>(response.body);
+  }
+
+ private:
+  static std::uint64_t endpoint_key(NodeId node, Port port) noexcept {
+    return (static_cast<std::uint64_t>(node) << 16) | port;
+  }
+
+  Transport* transport_;
+  std::unordered_map<std::uint64_t, Handler> handlers_;
+};
+
+// Adapts a typed handler (Task<RpcResponse>(shared_ptr<const Req>)) to the
+// untyped Handler signature.
+template <typename Req, typename F>
+RpcHub::Handler typed_handler(F fn) {
+  return [fn = std::move(fn)](
+             std::shared_ptr<const void> request) -> sim::Task<RpcResponse> {
+    return fn(std::static_pointer_cast<const Req>(std::move(request)));
+  };
+}
+
+}  // namespace hpcbb::net

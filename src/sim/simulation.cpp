@@ -1,0 +1,76 @@
+#include "sim/simulation.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+namespace hpcbb::sim {
+
+Simulation::~Simulation() {
+  // Destroy still-suspended processes (server loops blocked on channels).
+  // finish_root() mutates roots_, so detach the map first.
+  auto roots = std::move(roots_);
+  roots_.clear();
+  for (auto& [id, handle] : roots) {
+    handle.destroy();
+  }
+}
+
+void Simulation::schedule_at(SimTime time, std::coroutine_handle<> handle) {
+  assert(time >= now_ && "cannot schedule into the simulated past");
+  queue_.push(Event{time, next_seq_++, handle});
+}
+
+[[noreturn]] void Simulation::RootTask::promise_type::unhandled_exception()
+    noexcept {
+  // A detached simulated process has no awaiter to propagate to; this is
+  // always a bug in simulation code (application errors travel as Status).
+  std::fprintf(stderr, "fatal: exception escaped a detached sim process\n");
+  std::terminate();
+}
+
+Simulation::RootTask Simulation::make_root(Task<void> task) {
+  co_await std::move(task);
+}
+
+void Simulation::spawn(Task<void> task) {
+  RootTask root = make_root(std::move(task));
+  root.handle.promise().sim = this;
+  const std::uint64_t id = next_root_id_++;
+  root.handle.promise().id = id;
+  roots_.emplace(id, root.handle);
+  schedule_at(now_, root.handle);
+}
+
+void Simulation::finish_root(std::uint64_t id) noexcept {
+  const auto it = roots_.find(id);
+  if (it == roots_.end()) return;  // teardown path already detached it
+  const auto handle = it->second;
+  roots_.erase(it);
+  handle.destroy();
+}
+
+void Simulation::run() {
+  while (!queue_.empty()) {
+    const Event event = queue_.top();
+    queue_.pop();
+    assert(event.time >= now_);
+    now_ = event.time;
+    ++events_processed_;
+    event.handle.resume();
+  }
+}
+
+void Simulation::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    const Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    ++events_processed_;
+    event.handle.resume();
+  }
+  now_ = deadline;
+}
+
+}  // namespace hpcbb::sim

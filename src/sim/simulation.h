@@ -1,0 +1,129 @@
+// Discrete-event simulation core.
+//
+// Events are coroutine resumptions ordered by (time, insertion sequence):
+// equal-time events run in FIFO order, making every run bit-reproducible.
+// All wakeups (timers, condition notifications) go through the event queue —
+// nothing resumes a foreign coroutine inline — so no simulated actor can
+// observe a half-completed action of another.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "sim/task.h"
+
+namespace hpcbb::sim {
+
+using SimTime = std::uint64_t;  // nanoseconds since simulation start
+
+class Simulation {
+ public:
+  Simulation() = default;
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  // Schedule a raw coroutine resumption. Used by awaitables; application
+  // code uses delay()/spawn() and the sync primitives.
+  void schedule_at(SimTime time, std::coroutine_handle<> handle);
+
+  // Awaitable: suspend the current task for `delay_ns` simulated nanoseconds.
+  auto delay(SimTime delay_ns) noexcept {
+    struct Awaiter {
+      Simulation& sim;
+      SimTime wake_time;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> handle) {
+        sim.schedule_at(wake_time, handle);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, now_ + delay_ns};
+  }
+
+  // Awaitable: suspend until the given absolute simulated time (which must
+  // not be in the past).
+  auto delay_until(SimTime wake_time) noexcept {
+    return delay(wake_time > now_ ? wake_time - now_ : 0);
+  }
+
+  // Launch a detached task ("process"). The simulation owns its frame: it is
+  // destroyed when the task completes, or at simulation teardown if it is
+  // still blocked (e.g. a server loop waiting for requests).
+  void spawn(Task<void> task);
+
+  // Run until the event queue is exhausted. Tasks blocked on conditions that
+  // can never fire again simply stay suspended (normal for server loops).
+  void run();
+
+  // Run until simulated `deadline`; events after it remain queued.
+  void run_until(SimTime deadline);
+
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return events_processed_;
+  }
+  [[nodiscard]] std::size_t live_processes() const noexcept {
+    return roots_.size();
+  }
+
+  // Shared metric registry for all components built on this simulation.
+  MetricRegistry& metrics() noexcept { return metrics_; }
+
+ private:
+  struct RootTask {
+    struct promise_type {
+      Simulation* sim = nullptr;
+      std::uint64_t id = 0;
+
+      RootTask get_return_object() noexcept {
+        return RootTask{
+            std::coroutine_handle<promise_type>::from_promise(*this)};
+      }
+      std::suspend_always initial_suspend() noexcept { return {}; }
+
+      struct FinalAwaiter {
+        bool await_ready() const noexcept { return false; }
+        void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+          // The root finished: unregister and destroy the whole frame chain.
+          h.promise().sim->finish_root(h.promise().id);
+        }
+        void await_resume() const noexcept {}
+      };
+      FinalAwaiter final_suspend() noexcept { return {}; }
+      void return_void() noexcept {}
+      [[noreturn]] void unhandled_exception() noexcept;
+    };
+
+    std::coroutine_handle<promise_type> handle;
+  };
+
+  static RootTask make_root(Task<void> task);
+  void finish_root(std::uint64_t id) noexcept;
+
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+
+    bool operator>(const Event& other) const noexcept {
+      return time != other.time ? time > other.time : seq > other.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_root_id_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_map<std::uint64_t, std::coroutine_handle<>> roots_;
+  MetricRegistry metrics_;
+};
+
+}  // namespace hpcbb::sim

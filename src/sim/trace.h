@@ -1,0 +1,101 @@
+// Span tracing for simulated operations. Components record named spans
+// (begin/end in simulated time, with a category and node); the recorder
+// exports Chrome-trace JSON (chrome://tracing, Perfetto) so a slow
+// experiment can be inspected visually — which device queue backed up,
+// where a flush stalled, how the pipeline overlapped.
+//
+// Tracing is opt-in and zero-cost when no recorder is attached.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace hpcbb::sim {
+
+struct TraceSpan {
+  std::string name;      // "dfsio.write.file_3", "flush.block", ...
+  std::string category;  // "hdfs", "kv", "lustre", "bb", "mapred", ...
+  std::uint32_t track = 0;  // usually the node id; becomes the trace row
+  SimTime begin_ns = 0;
+  SimTime end_ns = 0;
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(Simulation& sim) noexcept : sim_(&sim) {}
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Opens a span; finish it via the returned index. Spans may nest and
+  // interleave freely (they are closed by index, not by a stack).
+  std::size_t begin(std::string name, std::string category,
+                    std::uint32_t track) {
+    spans_.push_back(TraceSpan{std::move(name), std::move(category), track,
+                               sim_->now(), 0});
+    return spans_.size() - 1;
+  }
+
+  void end(std::size_t index) {
+    if (index < spans_.size() && spans_[index].end_ns == 0) {
+      spans_[index].end_ns = sim_->now();
+    }
+  }
+
+  // Records an already-measured span.
+  void record(std::string name, std::string category, std::uint32_t track,
+              SimTime begin_ns, SimTime end_ns) {
+    spans_.push_back(TraceSpan{std::move(name), std::move(category), track,
+                               begin_ns, end_ns});
+  }
+
+  [[nodiscard]] const std::vector<TraceSpan>& spans() const noexcept {
+    return spans_;
+  }
+  [[nodiscard]] std::size_t open_span_count() const noexcept {
+    std::size_t open = 0;
+    for (const auto& span : spans_) open += span.end_ns == 0;
+    return open;
+  }
+
+  // Chrome-trace JSON ("traceEvents" array of X events, microsecond
+  // timestamps). Unfinished spans are clamped to now.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  // Tab-separated summary: per (category, name-prefix) count and total
+  // simulated time — a quick profile without a viewer.
+  [[nodiscard]] std::string summary() const;
+
+  void clear() { spans_.clear(); }
+
+ private:
+  Simulation* sim_;
+  std::vector<TraceSpan> spans_;
+};
+
+// RAII span: closes on scope exit. Null recorder => no-op.
+class [[nodiscard]] ScopedSpan {
+ public:
+  ScopedSpan(TraceRecorder* recorder, std::string name, std::string category,
+             std::uint32_t track)
+      : recorder_(recorder) {
+    if (recorder_ != nullptr) {
+      index_ = recorder_->begin(std::move(name), std::move(category), track);
+    }
+  }
+  ~ScopedSpan() {
+    if (recorder_ != nullptr) recorder_->end(index_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace hpcbb::sim

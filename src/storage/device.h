@@ -1,0 +1,86 @@
+// Block-device timing models. A device is a FIFO server: each I/O pays a
+// seek penalty when it breaks sequentiality, plus serialization at the
+// direction's bandwidth. Capacity is tracked separately so the paper's
+// motivating constraint — scarce node-local storage on HPC compute nodes —
+// is enforceable (writes fail with kResourceExhausted when full).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "sim/simulation.h"
+
+namespace hpcbb::storage {
+
+enum class MediaKind { kHdd, kSsd, kRamDisk };
+
+std::string_view to_string(MediaKind kind) noexcept;
+
+struct DeviceParams {
+  MediaKind kind = MediaKind::kHdd;
+  std::uint64_t read_bytes_per_sec = 130 * MB;
+  std::uint64_t write_bytes_per_sec = 110 * MB;
+  sim::SimTime seek_ns = 6 * duration::ms;
+  std::uint64_t capacity_bytes = 2 * TiB;
+};
+
+// Presets for a 2015-era HPC node (calibration table in EXPERIMENTS.md).
+DeviceParams hdd_preset();
+DeviceParams ssd_preset();
+DeviceParams ramdisk_preset(std::uint64_t capacity_bytes = 16 * GiB);
+
+class Device {
+ public:
+  Device(sim::Simulation& sim, const DeviceParams& params) noexcept
+      : sim_(&sim), params_(params) {}
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  // Timing only; space accounting is explicit via reserve/release.
+  sim::Task<void> read(std::uint64_t offset, std::uint64_t bytes) {
+    return io(offset, bytes, params_.read_bytes_per_sec);
+  }
+  sim::Task<void> write(std::uint64_t offset, std::uint64_t bytes) {
+    return io(offset, bytes, params_.write_bytes_per_sec);
+  }
+
+  [[nodiscard]] Status reserve(std::uint64_t bytes) noexcept {
+    if (used_ + bytes > params_.capacity_bytes) {
+      return error(StatusCode::kResourceExhausted, "device full");
+    }
+    used_ += bytes;
+    return Status::ok();
+  }
+  void release(std::uint64_t bytes) noexcept {
+    used_ = bytes > used_ ? 0 : used_ - bytes;
+  }
+
+  [[nodiscard]] std::uint64_t used_bytes() const noexcept { return used_; }
+  [[nodiscard]] std::uint64_t capacity_bytes() const noexcept {
+    return params_.capacity_bytes;
+  }
+  [[nodiscard]] const DeviceParams& params() const noexcept { return params_; }
+  [[nodiscard]] sim::SimTime busy_ns() const noexcept { return busy_ns_; }
+  [[nodiscard]] std::uint64_t io_count() const noexcept { return io_count_; }
+  [[nodiscard]] std::uint64_t seek_count() const noexcept {
+    return seek_count_;
+  }
+
+ private:
+  sim::Task<void> io(std::uint64_t offset, std::uint64_t bytes,
+                     std::uint64_t rate);
+
+  sim::Simulation* sim_;
+  DeviceParams params_;
+  sim::SimTime next_free_ = 0;
+  sim::SimTime busy_ns_ = 0;
+  std::uint64_t expected_next_offset_ = ~0ull;
+  std::uint64_t used_ = 0;
+  std::uint64_t io_count_ = 0;
+  std::uint64_t seek_count_ = 0;
+};
+
+}  // namespace hpcbb::storage

@@ -1,0 +1,81 @@
+// The FileSystem abstraction shared by HDFS, Lustre, and the burst-buffer
+// integrated file systems. MapReduce and every benchmark run against this
+// interface, so an experiment switches storage engines by construction only.
+//
+// Operations are issued *from* a compute node (`client`): locality and
+// network position matter, so the caller's node is part of the call.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "net/fabric.h"
+#include "sim/task.h"
+
+namespace hpcbb::fs {
+
+struct FileInfo {
+  std::string path;
+  std::uint64_t size = 0;
+  std::uint64_t block_size = 0;
+  std::uint32_t replication = 1;
+};
+
+// Streaming append-only writer (the HDFS write model, which all of the
+// paper's workloads use).
+class Writer {
+ public:
+  virtual ~Writer() = default;
+
+  // Append a chunk. The data is real bytes; implementations checksum it.
+  virtual sim::Task<Status> append(BytesPtr data) = 0;
+
+  // Seal the file. Durability semantics at return are implementation-
+  // defined (this is exactly what the three burst-buffer schemes vary).
+  virtual sim::Task<Status> close() = 0;
+};
+
+class Reader {
+ public:
+  virtual ~Reader() = default;
+
+  // Read [offset, offset+length); short reads only at end of file.
+  virtual sim::Task<Result<Bytes>> read(std::uint64_t offset,
+                                        std::uint64_t length) = 0;
+
+  [[nodiscard]] virtual std::uint64_t size() const = 0;
+};
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  virtual sim::Task<Result<std::unique_ptr<Writer>>> create(
+      const std::string& path, net::NodeId client) = 0;
+
+  virtual sim::Task<Result<std::unique_ptr<Reader>>> open(
+      const std::string& path, net::NodeId client) = 0;
+
+  virtual sim::Task<Result<FileInfo>> stat(const std::string& path,
+                                           net::NodeId client) = 0;
+
+  virtual sim::Task<Status> remove(const std::string& path,
+                                   net::NodeId client) = 0;
+
+  virtual sim::Task<Result<std::vector<std::string>>> list(
+      const std::string& prefix, net::NodeId client) = 0;
+
+  // Nodes holding a local copy of each block of `path` (empty inner vectors
+  // when the FS has no node-local placement, e.g. Lustre). MapReduce uses
+  // this for locality-aware task scheduling.
+  virtual sim::Task<Result<std::vector<std::vector<net::NodeId>>>>
+  block_locations(const std::string& path, net::NodeId client) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace hpcbb::fs

@@ -1,0 +1,103 @@
+#include "storage/local_store.h"
+
+namespace hpcbb::storage {
+
+sim::Task<Status> LocalStore::append(std::string name,
+                                     std::span<const std::uint8_t> data) {
+  if (Status st = device_->reserve(data.size()); !st.is_ok()) co_return st;
+
+  auto [it, inserted] = objects_.try_emplace(std::move(name));
+  Object& obj = it->second;
+  if (inserted) {
+    // Lay the object out at a fresh extent; appends within an object are
+    // sequential, distinct objects land at different extents.
+    obj.write_cursor = next_extent_;
+    next_extent_ += 256 * MiB;
+  }
+  obj.data.insert(obj.data.end(), data.begin(), data.end());
+
+  // All map mutation happens before the device await: the object may be
+  // removed by another simulated process while this I/O is in flight, and
+  // references into objects_ must not be touched afterwards.
+  const std::uint64_t io_offset = obj.write_cursor;
+  obj.write_cursor += data.size();
+  co_await device_->write(io_offset, data.size());
+  co_return Status::ok();
+}
+
+sim::Task<Status> LocalStore::write_at(std::string name, std::uint64_t offset,
+                                       std::span<const std::uint8_t> data) {
+  auto [it, inserted] = objects_.try_emplace(std::move(name));
+  Object& obj = it->second;
+  if (inserted) {
+    obj.write_cursor = next_extent_;
+    next_extent_ += 256 * MiB;
+    // write_cursor tracks the extent base + logical size for append();
+    // keep it consistent with the grown size below.
+  }
+  const std::uint64_t extent_base = obj.write_cursor - obj.data.size();
+  const std::uint64_t end = offset + data.size();
+  if (end > obj.data.size()) {
+    const std::uint64_t grow = end - obj.data.size();
+    if (Status st = device_->reserve(grow); !st.is_ok()) co_return st;
+    obj.data.resize(end, 0);
+    obj.write_cursor = extent_base + end;
+  }
+  std::copy(data.begin(), data.end(),
+            obj.data.begin() + static_cast<std::ptrdiff_t>(offset));
+  // Mutations done; no references into objects_ survive the await (the
+  // object may be concurrently removed while the I/O is in flight).
+  co_await device_->write(extent_base + offset, data.size());
+  co_return Status::ok();
+}
+
+sim::Task<Result<Bytes>> LocalStore::read(const std::string& name,
+                                          std::uint64_t offset,
+                                          std::uint64_t length) {
+  const auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    co_return error(StatusCode::kNotFound, "no such object: " + name);
+  }
+  const Object& obj = it->second;
+  if (offset + length > obj.data.size()) {
+    co_return error(StatusCode::kOutOfRange, "read past end of " + name);
+  }
+  // Snapshot the bytes before awaiting the device: the object may be
+  // removed by another simulated process while this I/O is in flight.
+  Bytes out(obj.data.begin() + static_cast<std::ptrdiff_t>(offset),
+            obj.data.begin() + static_cast<std::ptrdiff_t>(offset + length));
+  const std::uint64_t io_offset = obj.write_cursor - obj.data.size() + offset;
+  co_await device_->read(io_offset, length);
+  co_return out;
+}
+
+Status LocalStore::remove(const std::string& name) {
+  const auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    return error(StatusCode::kNotFound, "no such object: " + name);
+  }
+  device_->release(it->second.data.size());
+  objects_.erase(it);
+  return Status::ok();
+}
+
+std::uint64_t LocalStore::object_size(const std::string& name) const {
+  const auto it = objects_.find(name);
+  return it == objects_.end() ? 0 : it->second.data.size();
+}
+
+void LocalStore::flip_byte(const std::string& name, std::uint64_t index) {
+  const auto it = objects_.find(name);
+  if (it != objects_.end() && index < it->second.data.size()) {
+    it->second.data[index] ^= 0xFF;
+  }
+}
+
+void LocalStore::wipe() {
+  for (const auto& [name, obj] : objects_) {
+    device_->release(obj.data.size());
+  }
+  objects_.clear();
+}
+
+}  // namespace hpcbb::storage

@@ -1,0 +1,72 @@
+// LocalStore: a named-object store on one Device — the DataNode's block
+// directory, or the RAM-disk replica area of the BB-Local scheme. Objects
+// hold real bytes; every append/read charges device time and appends are
+// capacity-checked.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "storage/device.h"
+
+namespace hpcbb::storage {
+
+class LocalStore {
+ public:
+  explicit LocalStore(Device& device) noexcept : device_(&device) {}
+
+  LocalStore(const LocalStore&) = delete;
+  LocalStore& operator=(const LocalStore&) = delete;
+
+  // Appends to (creating if absent) the named object.
+  sim::Task<Status> append(std::string name, std::span<const std::uint8_t> data);
+
+  // Writes at an absolute object offset (creating/growing as needed; gaps
+  // are zero-filled). Lustre OST objects receive stripes at arbitrary
+  // offsets when upper layers flush out of order.
+  sim::Task<Status> write_at(std::string name, std::uint64_t offset,
+                             std::span<const std::uint8_t> data);
+
+  // Reads [offset, offset+length) of the named object.
+  sim::Task<Result<Bytes>> read(const std::string& name, std::uint64_t offset,
+                                std::uint64_t length);
+
+  // Removes the object and releases its space (metadata op: no device time).
+  Status remove(const std::string& name);
+
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return objects_.contains(name);
+  }
+  [[nodiscard]] std::uint64_t object_size(const std::string& name) const;
+  [[nodiscard]] std::uint64_t object_count() const noexcept {
+    return objects_.size();
+  }
+  [[nodiscard]] std::uint64_t used_bytes() const noexcept {
+    return device_->used_bytes();
+  }
+  [[nodiscard]] Device& device() noexcept { return *device_; }
+
+  // Drops all contents without device I/O — volatile media losing power
+  // (RAM disk on node crash).
+  void wipe();
+
+  // Test hook: flip one byte of a stored object in place (bit-rot
+  // injection for checksum-validation tests). No-op if absent/too short.
+  void flip_byte(const std::string& name, std::uint64_t index);
+
+ private:
+  struct Object {
+    Bytes data;
+    std::uint64_t write_cursor = 0;  // device offset bookkeeping
+  };
+
+  Device* device_;
+  std::unordered_map<std::string, Object> objects_;
+  std::uint64_t next_extent_ = 0;  // naive extent allocator for offsets
+};
+
+}  // namespace hpcbb::storage

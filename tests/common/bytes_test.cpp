@@ -1,0 +1,59 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace hpcbb {
+namespace {
+
+TEST(BytesTest, PatternIsDeterministic) {
+  const Bytes a = pattern_bytes(42, 0, 256);
+  const Bytes b = pattern_bytes(42, 0, 256);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BytesTest, PatternDependsOnSeed) {
+  EXPECT_NE(pattern_bytes(1, 0, 64), pattern_bytes(2, 0, 64));
+}
+
+TEST(BytesTest, SlicesComposeIntoWhole) {
+  // Generating [0,100) must equal generating [0,37) ++ [37,100).
+  const Bytes whole = pattern_bytes(7, 0, 100);
+  const Bytes head = pattern_bytes(7, 0, 37);
+  const Bytes tail = pattern_bytes(7, 37, 63);
+  Bytes glued = head;
+  glued.insert(glued.end(), tail.begin(), tail.end());
+  EXPECT_EQ(glued, whole);
+}
+
+TEST(BytesTest, UnalignedOffsetsCompose) {
+  const Bytes whole = pattern_bytes(9, 0, 64);
+  for (std::uint64_t off = 1; off < 16; ++off) {
+    const Bytes slice = pattern_bytes(9, off, 64 - off);
+    const Bytes expect(whole.begin() + static_cast<long>(off), whole.end());
+    EXPECT_EQ(slice, expect) << "offset " << off;
+  }
+}
+
+TEST(BytesTest, VerifyPatternAcceptsCorrectSlice) {
+  const Bytes data = pattern_bytes(123, 4096, 500);
+  EXPECT_TRUE(verify_pattern(123, 4096, data));
+}
+
+TEST(BytesTest, VerifyPatternRejectsCorruption) {
+  Bytes data = pattern_bytes(123, 4096, 500);
+  data[250] ^= 0xFF;
+  EXPECT_FALSE(verify_pattern(123, 4096, data));
+}
+
+TEST(BytesTest, VerifyPatternRejectsWrongOffset) {
+  const Bytes data = pattern_bytes(123, 0, 500);
+  EXPECT_FALSE(verify_pattern(123, 8, data));
+}
+
+TEST(BytesTest, EmptyPattern) {
+  EXPECT_TRUE(pattern_bytes(1, 0, 0).empty());
+  EXPECT_TRUE(verify_pattern(1, 0, Bytes{}));
+}
+
+}  // namespace
+}  // namespace hpcbb

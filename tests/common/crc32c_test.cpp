@@ -1,0 +1,57 @@
+#include "common/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace hpcbb {
+namespace {
+
+// Known-answer vectors for CRC32C (RFC 3720 appendix B.4 and classics).
+TEST(Crc32cTest, KnownAnswers) {
+  EXPECT_EQ(crc32c(""), 0u);
+  EXPECT_EQ(crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(crc32c("a"), 0xC1D04330u);
+  EXPECT_EQ(crc32c("abc"), 0x364B3FB7u);
+  EXPECT_EQ(crc32c("The quick brown fox jumps over the lazy dog"),
+            0x22620404u);
+}
+
+TEST(Crc32cTest, AllZeros32Bytes) {
+  const std::vector<std::uint8_t> zeros(32, 0);
+  EXPECT_EQ(crc32c(zeros), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  const std::string data = "hello burst buffer world, hello lustre";
+  const std::uint32_t whole = crc32c(data);
+  for (std::size_t cut = 0; cut <= data.size(); ++cut) {
+    std::uint32_t crc = crc32c(0, data.data(), cut);
+    crc = crc32c(crc, data.data() + cut, data.size() - cut);
+    EXPECT_EQ(crc, whole) << "cut at " << cut;
+  }
+}
+
+TEST(Crc32cTest, SensitiveToSingleBitFlip) {
+  std::vector<std::uint8_t> data(1024, 0xAB);
+  const std::uint32_t clean = crc32c(data);
+  for (const std::size_t pos : {0u, 511u, 1023u}) {
+    data[pos] ^= 0x01;
+    EXPECT_NE(crc32c(data), clean) << "flip at " << pos;
+    data[pos] ^= 0x01;
+  }
+}
+
+TEST(Crc32cTest, UnalignedStartMatches) {
+  const std::string data = "0123456789abcdef0123456789abcdef";
+  for (std::size_t off = 0; off < 8; ++off) {
+    const std::string_view suffix(data.data() + off, data.size() - off);
+    const std::uint32_t direct = crc32c(suffix);
+    const std::uint32_t copied = crc32c(std::string(suffix));
+    EXPECT_EQ(direct, copied);
+  }
+}
+
+}  // namespace
+}  // namespace hpcbb

@@ -1,0 +1,122 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace hpcbb {
+namespace {
+
+TEST(CounterTest, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.get(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.get(), 42u);
+  c.reset();
+  EXPECT_EQ(c.get(), 0u);
+}
+
+TEST(CounterTest, ThreadSafeAccumulation) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.get(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(HistogramTest, QuantilesWithinBucketError) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 100000; ++v) h.record(v);
+  // Log-linear buckets with 16 sub-buckets: <= 6.25% relative error.
+  const std::uint64_t p50 = h.quantile(0.5);
+  const std::uint64_t p99 = h.quantile(0.99);
+  EXPECT_NEAR(static_cast<double>(p50), 50000.0, 50000.0 * 0.07);
+  EXPECT_NEAR(static_cast<double>(p99), 99000.0, 99000.0 * 0.07);
+  EXPECT_GE(h.quantile(1.0), 99999u - 1);
+}
+
+TEST(HistogramTest, QuantileIsUpperBound) {
+  Histogram h;
+  h.record(1000);
+  EXPECT_GE(h.quantile(0.5), 1000u);
+  EXPECT_GE(h.quantile(0.0), 1000u);
+}
+
+TEST(HistogramTest, SmallValuesExact) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < Histogram::kSubBuckets; ++v) h.record(v);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), Histogram::kSubBuckets - 1);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, HugeValues) {
+  Histogram h;
+  const std::uint64_t big = 1ull << 62;
+  h.record(big);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.quantile(1.0), big);
+  EXPECT_LE(h.quantile(1.0), big + (big >> 3));
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.record(5);
+  h.record(500);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(MetricRegistryTest, NamedCountersAreStable) {
+  MetricRegistry reg;
+  reg.counter("a").add(1);
+  reg.counter("a").add(2);
+  reg.counter("b").add(10);
+  EXPECT_EQ(reg.counter_value("a"), 3u);
+  EXPECT_EQ(reg.counter_value("b"), 10u);
+  EXPECT_EQ(reg.counter_value("missing"), 0u);
+  const auto all = reg.counters();
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_EQ(all.at("a"), 3u);
+}
+
+TEST(MetricRegistryTest, ResetZeroesAll) {
+  MetricRegistry reg;
+  reg.counter("x").add(5);
+  reg.histogram("h").record(9);
+  reg.reset();
+  EXPECT_EQ(reg.counter_value("x"), 0u);
+  EXPECT_EQ(reg.histogram("h").count(), 0u);
+}
+
+}  // namespace
+}  // namespace hpcbb

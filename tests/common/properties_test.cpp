@@ -1,0 +1,74 @@
+#include "common/properties.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace hpcbb {
+namespace {
+
+TEST(PropertiesTest, ParsesBasicPairs) {
+  auto r = Properties::parse("a=1\nb = hello \n\n# comment\nc=2 # tail");
+  ASSERT_TRUE(r.is_ok());
+  const Properties& p = r.value();
+  EXPECT_EQ(p.get_or("a", ""), "1");
+  EXPECT_EQ(p.get_or("b", ""), "hello");
+  EXPECT_EQ(p.get_or("c", ""), "2");
+  EXPECT_FALSE(p.get("missing").has_value());
+}
+
+TEST(PropertiesTest, LaterKeysWin) {
+  auto r = Properties::parse("k=1\nk=2");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().get_or("k", ""), "2");
+}
+
+TEST(PropertiesTest, RejectsMalformedLine) {
+  EXPECT_FALSE(Properties::parse("just_a_token").is_ok());
+  EXPECT_FALSE(Properties::parse("=value").is_ok());
+}
+
+TEST(PropertiesTest, SizeSuffixes) {
+  Properties p;
+  p.set("block", "128m");
+  p.set("mem", "4g");
+  p.set("small", "512");
+  p.set("kay", "2K");
+  EXPECT_EQ(p.get_u64_or("block", 0), 128 * MiB);
+  EXPECT_EQ(p.get_u64_or("mem", 0), 4 * GiB);
+  EXPECT_EQ(p.get_u64_or("small", 0), 512u);
+  EXPECT_EQ(p.get_u64_or("kay", 0), 2 * KiB);
+}
+
+TEST(PropertiesTest, U64Errors) {
+  Properties p;
+  p.set("bad", "12x34");
+  EXPECT_EQ(p.get_u64("bad").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(p.get_u64("missing").code(), StatusCode::kNotFound);
+  EXPECT_EQ(p.get_u64_or("bad", 7), 7u);
+}
+
+TEST(PropertiesTest, BoolAndDouble) {
+  Properties p;
+  p.set("t1", "true");
+  p.set("t2", "1");
+  p.set("f1", "no");
+  p.set("d", "2.5");
+  EXPECT_TRUE(p.get_bool_or("t1", false));
+  EXPECT_TRUE(p.get_bool_or("t2", false));
+  EXPECT_FALSE(p.get_bool_or("f1", true));
+  EXPECT_TRUE(p.get_bool_or("missing", true));
+  EXPECT_DOUBLE_EQ(p.get_double_or("d", 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(p.get_double_or("missing", 1.5), 1.5);
+}
+
+TEST(PropertiesTest, SetOverrides) {
+  Properties p;
+  p.set("k", "a");
+  p.set("k", "b");
+  EXPECT_EQ(p.get_or("k", ""), "b");
+  EXPECT_TRUE(p.contains("k"));
+}
+
+}  // namespace
+}  // namespace hpcbb

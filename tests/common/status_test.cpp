@@ -1,0 +1,65 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace hpcbb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = error(StatusCode::kNotFound, "no such block");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such block");
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: no such block");
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(error(StatusCode::kTimeout, "a"), error(StatusCode::kTimeout, "b"));
+  EXPECT_FALSE(error(StatusCode::kTimeout, "a") ==
+               error(StatusCode::kInternal, "a"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(to_string(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().is_ok());
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = error(StatusCode::kUnavailable, "server down");
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_FALSE(static_cast<bool>(r));
+  EXPECT_EQ(r.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  const std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, MoveOnlyType) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.is_ok());
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 5);
+}
+
+}  // namespace
+}  // namespace hpcbb

@@ -1,0 +1,64 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace hpcbb {
+namespace {
+
+TEST(StringsTest, SplitBasic) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto parts = split(",x,,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitEmptyString) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t a b \r\n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(starts_with("/user/data", "/user"));
+  EXPECT_FALSE(starts_with("/usr", "/user"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(StringsTest, Fnv1aIsStableAndDistinguishes) {
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a("a"), fnv1a("a"));
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+  EXPECT_NE(fnv1a("/f1#0"), fnv1a("/f1#1"));
+}
+
+TEST(StringsTest, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512.0 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(format_bytes(3 * 1024 * 1024), "3.00 MiB");
+}
+
+TEST(StringsTest, FormatDuration) {
+  EXPECT_EQ(format_duration_ns(500), "500.0 ns");
+  EXPECT_EQ(format_duration_ns(1500), "1.50 us");
+  EXPECT_EQ(format_duration_ns(2'500'000'000ull), "2.50 s");
+}
+
+}  // namespace
+}  // namespace hpcbb

@@ -1,0 +1,44 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace hpcbb {
+namespace {
+
+TEST(UnitsTest, Constants) {
+  EXPECT_EQ(KiB, 1024u);
+  EXPECT_EQ(MiB, 1024u * 1024u);
+  EXPECT_EQ(GiB, 1024ull * 1024 * 1024);
+  EXPECT_EQ(duration::sec, 1'000'000'000ull);
+}
+
+TEST(UnitsTest, TransferTimeExact) {
+  // 1 MB at 1 MB/s = 1 s.
+  EXPECT_EQ(transfer_time_ns(1 * MB, 1 * MB), duration::sec);
+  // 100 MB at 100 MB/s = 1 s.
+  EXPECT_EQ(transfer_time_ns(100 * MB, 100 * MB), duration::sec);
+}
+
+TEST(UnitsTest, TransferTimeRoundsUp) {
+  // 1 byte at 3 bytes/s: ceil(1e9 / 3) ns.
+  EXPECT_EQ(transfer_time_ns(1, 3), 333'333'334ull);
+}
+
+TEST(UnitsTest, TransferTimeZeroBytes) {
+  EXPECT_EQ(transfer_time_ns(0, 100), 0u);
+}
+
+TEST(UnitsTest, TransferTimeHugeSizesNoOverflow) {
+  // 100 TiB at 1 GB/s ~= 109951 s; must not overflow.
+  const std::uint64_t t = transfer_time_ns(100 * TiB, 1 * GB);
+  EXPECT_NEAR(ns_to_sec(t), 109951.16, 1.0);
+}
+
+TEST(UnitsTest, ThroughputMbps) {
+  EXPECT_DOUBLE_EQ(throughput_mbps(100 * MB, duration::sec), 100.0);
+  EXPECT_DOUBLE_EQ(throughput_mbps(0, duration::sec), 0.0);
+  EXPECT_DOUBLE_EQ(throughput_mbps(100, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace hpcbb

@@ -1,0 +1,295 @@
+// HDFS stack tests: namespace, pipelined replication, locality, checksum
+// validation, failure handling and re-replication.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testing/co_assert.h"
+#include "common/units.h"
+#include "hdfs/client.h"
+#include "hdfs/datanode.h"
+#include "hdfs/namenode.h"
+#include "sim/sync.h"
+
+namespace hpcbb::hdfs {
+namespace {
+
+using namespace hpcbb::duration;  // NOLINT
+using net::NodeId;
+using sim::Simulation;
+using sim::Task;
+
+// Node layout: 0..n-1 compute nodes (each runs a DataNode), n = NameNode.
+struct Rig {
+  Simulation sim;
+  net::Fabric fabric;
+  net::Transport transport;
+  net::RpcHub hub;
+  std::vector<std::unique_ptr<DataNode>> datanodes;
+  std::unique_ptr<NameNode> namenode;
+  std::unique_ptr<HdfsFileSystem> fs;
+
+  explicit Rig(std::uint32_t n_dn = 4, HdfsClientParams client_params = {})
+      : fabric(sim, n_dn + 1, net::FabricParams{}),
+        transport(fabric, net::transport_preset(net::TransportKind::kIpoib)),
+        hub(transport) {
+    std::vector<NodeId> dn_nodes;
+    for (std::uint32_t i = 0; i < n_dn; ++i) {
+      datanodes.push_back(std::make_unique<DataNode>(hub, i, DataNodeParams{}));
+      dn_nodes.push_back(i);
+    }
+    NameNodeParams nn;
+    nn.default_block_size = 8 * MiB;  // small blocks keep tests fast
+    namenode = std::make_unique<NameNode>(hub, n_dn, dn_nodes, nn);
+    fs = std::make_unique<HdfsFileSystem>(hub, n_dn, client_params);
+  }
+};
+
+TEST(HdfsTest, WriteReadRoundTrip) {
+  Rig rig;
+  Bytes got;
+  rig.sim.spawn([](Rig& r, Bytes& out) -> Task<void> {
+    auto w = co_await r.fs->create("/user/f1", 0);
+    CO_ASSERT_OK(w);
+    CO_ASSERT_OK(co_await w.value()->append(
+        make_bytes(pattern_bytes(1, 0, 20 * MiB + 55))));
+    CO_ASSERT_OK(co_await w.value()->close());
+
+    auto rd = co_await r.fs->open("/user/f1", 2);
+    CO_ASSERT_OK(rd);
+    CO_ASSERT(rd.value()->size() == 20 * MiB + 55);
+    auto data = co_await rd.value()->read(0, 20 * MiB + 55);
+    CO_ASSERT_OK(data);
+    out = std::move(data).value();
+  }(rig, got));
+  rig.sim.run();
+  ASSERT_EQ(got.size(), 20 * MiB + 55);
+  EXPECT_TRUE(verify_pattern(1, 0, got));
+}
+
+TEST(HdfsTest, TripleReplicationWriterLocalFirst) {
+  Rig rig;
+  std::vector<std::vector<NodeId>> locs;
+  rig.sim.spawn([](Rig& r, std::vector<std::vector<NodeId>>& out) -> Task<void> {
+    auto w = co_await r.fs->create("/f", 1);  // writer = node 1
+    CO_ASSERT_OK(w);
+    CO_ASSERT_OK(co_await w.value()->append(
+        make_bytes(pattern_bytes(2, 0, 20 * MiB))));
+    CO_ASSERT_OK(co_await w.value()->close());
+    auto l = co_await r.fs->block_locations("/f", 1);
+    CO_ASSERT_OK(l);
+    out = l.value();
+  }(rig, locs));
+  rig.sim.run();
+  ASSERT_EQ(locs.size(), 3u);  // 20 MiB / 8 MiB blocks
+  for (const auto& nodes : locs) {
+    ASSERT_EQ(nodes.size(), 3u);
+    EXPECT_EQ(nodes.front(), 1u);  // writer-local replica
+    // Replicas are distinct nodes.
+    std::set<NodeId> uniq(nodes.begin(), nodes.end());
+    EXPECT_EQ(uniq.size(), 3u);
+  }
+  // Every replica holds real bytes on its local disk.
+  std::uint64_t total = 0;
+  for (const auto& dn : rig.datanodes) total += dn->used_bytes();
+  EXPECT_EQ(total, 3 * 20 * MiB);
+}
+
+TEST(HdfsTest, CustomReplicationFactor) {
+  Rig rig(5, HdfsClientParams{.replication = 2});
+  rig.sim.spawn([](Rig& r) -> Task<void> {
+    auto w = co_await r.fs->create("/f", 0);
+    CO_ASSERT_OK(w);
+    CO_ASSERT_OK(co_await w.value()->append(make_bytes(pattern_bytes(3, 0, 4 * MiB))));
+    CO_ASSERT_OK(co_await w.value()->close());
+  }(rig));
+  rig.sim.run();
+  std::uint64_t total = 0;
+  for (const auto& dn : rig.datanodes) total += dn->used_bytes();
+  EXPECT_EQ(total, 2 * 4 * MiB);
+}
+
+TEST(HdfsTest, ReadPrefersLocalReplica) {
+  Rig rig;
+  rig.sim.spawn([](Rig& r) -> Task<void> {
+    auto w = co_await r.fs->create("/f", 0);
+    CO_ASSERT_OK(w);
+    CO_ASSERT_OK(co_await w.value()->append(make_bytes(pattern_bytes(4, 0, 8 * MiB))));
+    CO_ASSERT_OK(co_await w.value()->close());
+  }(rig));
+  rig.sim.run();
+  // Reading from node 0 (writer, has local replica) must not pull data from
+  // remote nodes: their sent-bytes counters stay flat across the read.
+  std::uint64_t remote_before = 0;
+  for (NodeId n = 1; n < 4; ++n) remote_before += rig.fabric.bytes_sent(n);
+  rig.sim.spawn([](Rig& r) -> Task<void> {
+    auto rd = co_await r.fs->open("/f", 0);
+    CO_ASSERT_OK(rd);
+    auto data = co_await rd.value()->read(0, 8 * MiB);
+    CO_ASSERT_OK(data);
+    CO_ASSERT(verify_pattern(4, 0, data.value()));
+  }(rig));
+  rig.sim.run();
+  std::uint64_t remote_after = 0;
+  for (NodeId n = 1; n < 4; ++n) remote_after += rig.fabric.bytes_sent(n);
+  EXPECT_LT(remote_after - remote_before, 1 * MiB);
+}
+
+TEST(HdfsTest, ChecksumMismatchDetected) {
+  Rig rig(3);
+  BlockId block{};
+  rig.sim.spawn([](Rig& r, BlockId& blk) -> Task<void> {
+    auto w = co_await r.fs->create("/f", 0);
+    CO_ASSERT_OK(w);
+    CO_ASSERT_OK(co_await w.value()->append(make_bytes(pattern_bytes(5, 0, 2 * MiB))));
+    CO_ASSERT_OK(co_await w.value()->close());
+    auto l = co_await r.fs->locations("/f", 0);
+    CO_ASSERT_OK(l);
+    blk = l.value().blocks.front().block_id;
+  }(rig, block));
+  rig.sim.run();
+  // Corrupt every replica, then a full-block read must fail kDataLoss.
+  for (auto& dn : rig.datanodes) dn->corrupt_block(block);
+  StatusCode code{};
+  rig.sim.spawn([](Rig& r, StatusCode& out) -> Task<void> {
+    auto rd = co_await r.fs->open("/f", 0);
+    CO_ASSERT_OK(rd);
+    out = (co_await rd.value()->read(0, 2 * MiB)).code();
+  }(rig, code));
+  rig.sim.run();
+  EXPECT_EQ(code, StatusCode::kDataLoss);
+}
+
+TEST(HdfsTest, ReaderFailsOverToSurvivingReplica) {
+  Rig rig;
+  rig.sim.spawn([](Rig& r) -> Task<void> {
+    auto w = co_await r.fs->create("/f", 0);
+    CO_ASSERT_OK(w);
+    CO_ASSERT_OK(co_await w.value()->append(make_bytes(pattern_bytes(6, 0, 4 * MiB))));
+    CO_ASSERT_OK(co_await w.value()->close());
+  }(rig));
+  rig.sim.run();
+  // Kill the writer-local DataNode; a read from node 0 must still succeed
+  // via a remote replica.
+  rig.datanodes[0]->crash();
+  bool ok = false;
+  rig.sim.spawn([](Rig& r, bool& out) -> Task<void> {
+    auto rd = co_await r.fs->open("/f", 0);
+    CO_ASSERT_OK(rd);
+    auto data = co_await rd.value()->read(0, 4 * MiB);
+    CO_ASSERT_OK(data);
+    out = verify_pattern(6, 0, data.value());
+  }(rig, ok));
+  rig.sim.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(HdfsTest, ReReplicationAfterDataNodeDeath) {
+  Rig rig;
+  rig.sim.spawn([](Rig& r) -> Task<void> {
+    auto w = co_await r.fs->create("/f", 0);
+    CO_ASSERT_OK(w);
+    CO_ASSERT_OK(co_await w.value()->append(make_bytes(pattern_bytes(7, 0, 8 * MiB))));
+    CO_ASSERT_OK(co_await w.value()->close());
+  }(rig));
+  rig.sim.run();
+  rig.datanodes[0]->crash();
+  const std::size_t scheduled = rig.namenode->mark_datanode_dead(0);
+  EXPECT_EQ(scheduled, 1u);
+  rig.sim.run();  // let re-replication finish
+  // Replication is back to 3 on live nodes, and the new replica is real.
+  std::uint64_t live_bytes = 0;
+  for (NodeId n = 1; n < 4; ++n) live_bytes += rig.datanodes[n]->used_bytes();
+  EXPECT_EQ(live_bytes, 3 * 8 * MiB);
+}
+
+TEST(HdfsTest, DeleteFreesAllReplicas) {
+  Rig rig;
+  rig.sim.spawn([](Rig& r) -> Task<void> {
+    auto w = co_await r.fs->create("/f", 0);
+    CO_ASSERT_OK(w);
+    CO_ASSERT_OK(co_await w.value()->append(make_bytes(pattern_bytes(8, 0, 4 * MiB))));
+    CO_ASSERT_OK(co_await w.value()->close());
+    CO_ASSERT_OK(co_await r.fs->remove("/f", 0));
+  }(rig));
+  rig.sim.run();
+  for (const auto& dn : rig.datanodes) EXPECT_EQ(dn->used_bytes(), 0u);
+}
+
+TEST(HdfsTest, ListAndStat) {
+  Rig rig;
+  fs::FileInfo info;
+  std::vector<std::string> listed;
+  rig.sim.spawn([](Rig& r, fs::FileInfo& fi, std::vector<std::string>& ls)
+                    -> Task<void> {
+    for (const char* p : {"/out/part-0", "/out/part-1", "/tmp/x"}) {
+      auto w = co_await r.fs->create(p, 0);
+      CO_ASSERT_OK(w);
+      CO_ASSERT_OK(co_await w.value()->append(make_bytes(pattern_bytes(9, 0, 1 * MiB))));
+      CO_ASSERT_OK(co_await w.value()->close());
+    }
+    auto s = co_await r.fs->stat("/out/part-0", 0);
+    CO_ASSERT_OK(s);
+    fi = s.value();
+    auto l = co_await r.fs->list("/out", 0);
+    CO_ASSERT_OK(l);
+    ls = l.value();
+  }(rig, info, listed));
+  rig.sim.run();
+  EXPECT_EQ(info.size, 1 * MiB);
+  EXPECT_EQ(info.replication, 3u);
+  EXPECT_EQ(info.block_size, 8 * MiB);
+  EXPECT_EQ(listed, (std::vector<std::string>{"/out/part-0", "/out/part-1"}));
+}
+
+TEST(HdfsTest, ConcurrentWritersDifferentFiles) {
+  Rig rig;
+  int done = 0;
+  for (NodeId n = 0; n < 4; ++n) {
+    rig.sim.spawn([](Rig& r, NodeId id, int& out) -> Task<void> {
+      auto w = co_await r.fs->create("/f" + std::to_string(id), id);
+      CO_ASSERT_OK(w);
+      CO_ASSERT_OK(co_await w.value()->append(
+          make_bytes(pattern_bytes(id, 0, 10 * MiB))));
+      CO_ASSERT_OK(co_await w.value()->close());
+      auto rd = co_await r.fs->open("/f" + std::to_string(id), id);
+      CO_ASSERT_OK(rd);
+      auto data = co_await rd.value()->read(0, 10 * MiB);
+      CO_ASSERT_OK(data);
+      CO_ASSERT(verify_pattern(id, 0, data.value()));
+      ++out;
+    }(rig, n, done));
+  }
+  rig.sim.run();
+  EXPECT_EQ(done, 4);
+}
+
+TEST(HdfsTest, ManySmallAppendsSpanBlocks) {
+  Rig rig;
+  Bytes got;
+  rig.sim.spawn([](Rig& r, Bytes& out) -> Task<void> {
+    auto w = co_await r.fs->create("/f", 0);
+    CO_ASSERT_OK(w);
+    // 100 appends of 200 KiB + 17 bytes: crosses the 8 MiB block boundary
+    // at awkward offsets.
+    std::uint64_t off = 0;
+    for (int i = 0; i < 100; ++i) {
+      const std::uint64_t n = 200 * KiB + 17;
+      CO_ASSERT_OK(co_await w.value()->append(
+          make_bytes(pattern_bytes(42, off, n))));
+      off += n;
+    }
+    CO_ASSERT_OK(co_await w.value()->close());
+    auto rd = co_await r.fs->open("/f", 3);
+    CO_ASSERT_OK(rd);
+    auto data = co_await rd.value()->read(0, off);
+    CO_ASSERT_OK(data);
+    out = std::move(data).value();
+  }(rig, got));
+  rig.sim.run();
+  ASSERT_EQ(got.size(), 100 * (200 * KiB + 17));
+  EXPECT_TRUE(verify_pattern(42, 0, got));
+}
+
+}  // namespace
+}  // namespace hpcbb::hdfs

@@ -1,0 +1,153 @@
+// HDFS rack-aware placement on a two-level fabric: the classic
+// (writer, off-rack, same-rack-as-second) replica policy.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "testing/co_assert.h"
+#include "common/units.h"
+#include "hdfs/client.h"
+#include "hdfs/datanode.h"
+#include "hdfs/namenode.h"
+#include "sim/sync.h"
+
+namespace hpcbb::hdfs {
+namespace {
+
+using namespace hpcbb::duration;  // NOLINT
+using net::NodeId;
+using sim::Simulation;
+using sim::Task;
+
+struct Rig {
+  Simulation sim;
+  net::Fabric fabric;
+  net::Transport transport;
+  net::RpcHub hub;
+  std::vector<std::unique_ptr<DataNode>> datanodes;
+  std::unique_ptr<NameNode> namenode;
+  std::unique_ptr<HdfsFileSystem> fs;
+
+  // 8 DataNodes in 2 racks of 4; NameNode on node 8 (rack 2).
+  Rig() : fabric(sim, 9, racked()), transport(fabric,
+              net::transport_preset(net::TransportKind::kIpoib)),
+          hub(transport) {
+    std::vector<NodeId> dn_nodes;
+    for (NodeId i = 0; i < 8; ++i) {
+      datanodes.push_back(std::make_unique<DataNode>(hub, i, DataNodeParams{}));
+      dn_nodes.push_back(i);
+    }
+    NameNodeParams nn;
+    nn.default_block_size = 4 * MiB;
+    namenode = std::make_unique<NameNode>(hub, 8, dn_nodes, nn);
+    fs = std::make_unique<HdfsFileSystem>(hub, 8);
+  }
+
+  static net::FabricParams racked() {
+    net::FabricParams p;
+    p.nodes_per_rack = 4;
+    return p;
+  }
+};
+
+TEST(RackPlacementTest, ReplicasSpanRacksByPolicy) {
+  Rig rig;
+  std::vector<std::vector<NodeId>> locations;
+  rig.sim.spawn([](Rig& r, std::vector<std::vector<NodeId>>& out) -> Task<void> {
+    for (int i = 0; i < 10; ++i) {
+      const std::string path = "/f" + std::to_string(i);
+      auto writer = co_await r.fs->create(path, /*writer=*/1);
+      CO_ASSERT(writer.is_ok());
+      CO_ASSERT_OK(co_await writer.value()->append(
+          make_bytes(pattern_bytes(static_cast<std::uint64_t>(i), 0, 2 * MiB))));
+      CO_ASSERT_OK(co_await writer.value()->close());
+      auto locs = co_await r.fs->block_locations(path, 1);
+      CO_ASSERT(locs.is_ok());
+      out.push_back(locs.value().front());
+    }
+  }(rig, locations));
+  rig.sim.run();
+
+  ASSERT_EQ(locations.size(), 10u);
+  for (const auto& nodes : locations) {
+    ASSERT_EQ(nodes.size(), 3u);
+    EXPECT_EQ(nodes[0], 1u);  // writer-local
+    // Second replica: different rack than the writer (rack 0).
+    EXPECT_EQ(rig.fabric.rack_of(nodes[1]), 1u);
+    // Third replica: same rack as the second, distinct node.
+    EXPECT_EQ(rig.fabric.rack_of(nodes[2]), rig.fabric.rack_of(nodes[1]));
+    EXPECT_NE(nodes[1], nodes[2]);
+    // Two racks total: tolerates the loss of either whole rack.
+    std::set<std::uint32_t> racks;
+    for (const NodeId n : nodes) racks.insert(rig.fabric.rack_of(n));
+    EXPECT_EQ(racks.size(), 2u);
+  }
+}
+
+TEST(RackPlacementTest, WholeRackLossLeavesDataReadable) {
+  Rig rig;
+  rig.sim.spawn([](Rig& r) -> Task<void> {
+    auto writer = co_await r.fs->create("/f", 0);
+    CO_ASSERT(writer.is_ok());
+    CO_ASSERT_OK(co_await writer.value()->append(
+        make_bytes(pattern_bytes(7, 0, 8 * MiB))));
+    CO_ASSERT_OK(co_await writer.value()->close());
+  }(rig));
+  rig.sim.run();
+  // Kill all of rack 0 (nodes 0-3).
+  for (NodeId n = 0; n < 4; ++n) {
+    rig.datanodes[n]->crash();
+    (void)rig.namenode->mark_datanode_dead(n);
+  }
+  rig.sim.run();  // drain re-replication
+  bool ok = false;
+  rig.sim.spawn([](Rig& r, bool& out) -> Task<void> {
+    auto reader = co_await r.fs->open("/f", 5);
+    CO_ASSERT(reader.is_ok());
+    auto data = co_await reader.value()->read(0, 8 * MiB);
+    CO_ASSERT(data.is_ok());
+    out = verify_pattern(7, 0, data.value());
+  }(rig, ok));
+  rig.sim.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(RackPlacementTest, SingleRackClusterStillPlaces) {
+  // Degenerate: everything in one rack — policy falls back gracefully.
+  Simulation sim;
+  net::FabricParams fp;
+  fp.nodes_per_rack = 16;
+  net::Fabric fabric(sim, 5, fp);
+  net::Transport transport(fabric,
+                           net::transport_preset(net::TransportKind::kIpoib));
+  net::RpcHub hub(transport);
+  std::vector<std::unique_ptr<DataNode>> dns;
+  std::vector<NodeId> dn_nodes;
+  for (NodeId i = 0; i < 4; ++i) {
+    dns.push_back(std::make_unique<DataNode>(hub, i, DataNodeParams{}));
+    dn_nodes.push_back(i);
+  }
+  NameNodeParams nn;
+  nn.default_block_size = 4 * MiB;
+  NameNode namenode(hub, 4, dn_nodes, nn);
+  HdfsFileSystem fs(hub, 4);
+  std::vector<NodeId> nodes;
+  sim.spawn([](HdfsFileSystem& f, std::vector<NodeId>& out) -> Task<void> {
+    auto writer = co_await f.create("/f", 2);
+    CO_ASSERT(writer.is_ok());
+    CO_ASSERT_OK(co_await writer.value()->append(
+        make_bytes(pattern_bytes(1, 0, 1 * MiB))));
+    CO_ASSERT_OK(co_await writer.value()->close());
+    auto locs = co_await f.block_locations("/f", 2);
+    CO_ASSERT(locs.is_ok());
+    out = locs.value().front();
+  }(fs, nodes));
+  sim.run();
+  ASSERT_EQ(nodes.size(), 3u);
+  std::set<NodeId> uniq(nodes.begin(), nodes.end());
+  EXPECT_EQ(uniq.size(), 3u);
+}
+
+}  // namespace
+}  // namespace hpcbb::hdfs

@@ -1,0 +1,64 @@
+#include "kvstore/ring.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+namespace hpcbb::kv {
+namespace {
+
+TEST(HashRingTest, DeterministicMapping) {
+  HashRing a(4), b(4);
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    EXPECT_EQ(a.server_for(key), b.server_for(key));
+  }
+}
+
+TEST(HashRingTest, AllServersReceiveLoad) {
+  HashRing ring(8);
+  std::map<std::uint32_t, int> counts;
+  for (int i = 0; i < 8000; ++i) {
+    ++counts[ring.server_for("key-" + std::to_string(i))];
+  }
+  ASSERT_EQ(counts.size(), 8u);
+  for (const auto& [server, count] : counts) {
+    // With 100 vnodes the imbalance should stay well under 2x.
+    EXPECT_GT(count, 400) << "server " << server;
+    EXPECT_LT(count, 2000) << "server " << server;
+  }
+}
+
+TEST(HashRingTest, SingleServerOwnsEverything) {
+  HashRing ring(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(ring.server_for("key-" + std::to_string(i)), 0u);
+  }
+  EXPECT_EQ(ring.next_server_for("any"), 0u);
+}
+
+TEST(HashRingTest, FailoverTargetDiffersFromPrimary) {
+  HashRing ring(4);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    EXPECT_NE(ring.server_for(key), ring.next_server_for(key)) << key;
+  }
+}
+
+TEST(HashRingTest, GrowingClusterRemapsMinority) {
+  HashRing small(4), large(5);
+  int moved = 0;
+  constexpr int kKeys = 5000;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    // Keys that stay must map to the same server index; consistent hashing
+    // moves roughly 1/5 of keys to the new server.
+    if (small.server_for(key) != large.server_for(key)) ++moved;
+  }
+  EXPECT_GT(moved, kKeys / 10);
+  EXPECT_LT(moved, kKeys / 2);
+}
+
+}  // namespace
+}  // namespace hpcbb::kv

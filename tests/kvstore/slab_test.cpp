@@ -1,0 +1,124 @@
+#include "kvstore/slab.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/units.h"
+
+namespace hpcbb::kv {
+namespace {
+
+SlabParams tiny() {
+  return SlabParams{.memory_budget = 1 * MiB,
+                    .page_size = 64 * KiB,
+                    .chunk_min = 96,
+                    .growth_factor = 1.25,
+                    .chunk_max = 16 * KiB};
+}
+
+TEST(SlabTest, ClassSizesGrowGeometrically) {
+  SlabAllocator slab(tiny());
+  ASSERT_GT(slab.class_count(), 5);
+  for (int c = 1; c < slab.class_count(); ++c) {
+    EXPECT_GT(slab.chunk_size(c), slab.chunk_size(c - 1));
+    if (c + 1 < slab.class_count()) {
+      const double ratio = static_cast<double>(slab.chunk_size(c)) /
+                           slab.chunk_size(c - 1);
+      EXPECT_LE(ratio, 1.45) << "class " << c;
+    }
+  }
+  EXPECT_GE(slab.chunk_size(slab.class_count() - 1), 16 * KiB);
+}
+
+TEST(SlabTest, ClassForPicksSmallestFit) {
+  SlabAllocator slab(tiny());
+  const int c0 = slab.class_for(1);
+  EXPECT_EQ(c0, 0);
+  const int c = slab.class_for(100);
+  ASSERT_GE(c, 0);
+  EXPECT_GE(slab.chunk_size(c), 100u);
+  if (c > 0) {
+    EXPECT_LT(slab.chunk_size(c - 1), 100u);
+  }
+}
+
+TEST(SlabTest, OversizeRejected) {
+  SlabAllocator slab(tiny());
+  EXPECT_EQ(slab.class_for(1 * MiB), -1);
+}
+
+TEST(SlabTest, AllocateDeallocateReuse) {
+  SlabAllocator slab(tiny());
+  const int cls = slab.class_for(1000);
+  void* a = slab.allocate(cls);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(slab.chunks_in_use(cls), 1u);
+  slab.deallocate(cls, a);
+  EXPECT_EQ(slab.chunks_in_use(cls), 0u);
+  void* b = slab.allocate(cls);
+  EXPECT_EQ(a, b);  // LIFO free list reuses the chunk
+}
+
+TEST(SlabTest, DistinctChunksDoNotOverlap) {
+  SlabAllocator slab(tiny());
+  const int cls = slab.class_for(500);
+  const std::uint32_t size = slab.chunk_size(cls);
+  std::set<std::uintptr_t> starts;
+  for (int i = 0; i < 200; ++i) {
+    void* p = slab.allocate(cls);
+    ASSERT_NE(p, nullptr);
+    starts.insert(reinterpret_cast<std::uintptr_t>(p));
+  }
+  ASSERT_EQ(starts.size(), 200u);
+  std::uintptr_t prev_end = 0;
+  for (const auto s : starts) {
+    EXPECT_GE(s, prev_end);
+    prev_end = s + size;
+  }
+}
+
+TEST(SlabTest, BudgetEnforced) {
+  SlabAllocator slab(tiny());  // 1 MiB budget, 64 KiB pages => 16 pages
+  const int cls = slab.class_for(16 * KiB - 32);
+  const std::uint32_t chunk = slab.chunk_size(cls);
+  const std::uint64_t per_page = (64 * KiB) / chunk;
+  std::uint64_t got = 0;
+  while (slab.allocate(cls) != nullptr) ++got;
+  EXPECT_EQ(got, 16 * per_page);
+  EXPECT_LE(slab.allocated_pages_bytes(), 1 * MiB);
+}
+
+TEST(SlabTest, BudgetSharedAcrossClasses) {
+  SlabAllocator slab(tiny());
+  // Exhaust the budget with large chunks...
+  const int big = slab.class_for(16 * KiB - 32);
+  while (slab.allocate(big) != nullptr) {
+  }
+  // ...then a fresh class cannot grow either.
+  const int small = slab.class_for(100);
+  EXPECT_EQ(slab.allocate(small), nullptr);
+}
+
+TEST(SlabTest, ChunksAligned) {
+  SlabAllocator slab(tiny());
+  for (const std::uint64_t want : {100ull, 1000ull, 10000ull}) {
+    const int cls = slab.class_for(want);
+    void* p = slab.allocate(cls);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 16, 0u);
+  }
+}
+
+TEST(SlabTest, TotalChunksInUse) {
+  SlabAllocator slab(tiny());
+  void* a = slab.allocate(slab.class_for(100));
+  void* b = slab.allocate(slab.class_for(5000));
+  EXPECT_EQ(slab.total_chunks_in_use(), 2u);
+  slab.deallocate(slab.class_for(100), a);
+  slab.deallocate(slab.class_for(5000), b);
+  EXPECT_EQ(slab.total_chunks_in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace hpcbb::kv

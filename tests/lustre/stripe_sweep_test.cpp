@@ -1,0 +1,145 @@
+// Parameterized Lustre sweeps: correctness must hold for every stripe
+// geometry, and bandwidth must scale with stripe width.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "testing/co_assert.h"
+#include "common/units.h"
+#include "lustre/client.h"
+#include "lustre/mds.h"
+#include "lustre/oss.h"
+#include "sim/sync.h"
+
+namespace hpcbb::lustre {
+namespace {
+
+using namespace hpcbb::duration;  // NOLINT
+using net::NodeId;
+using sim::Simulation;
+using sim::Task;
+
+// (stripe_size_kib, stripe_count, oss_count)
+using StripeParam = std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>;
+
+struct Rig {
+  Simulation sim;
+  net::Fabric fabric;
+  net::Transport transport;
+  net::RpcHub hub;
+  std::vector<std::unique_ptr<Oss>> osses;
+  std::unique_ptr<Mds> mds;
+  std::unique_ptr<LustreFileSystem> fs;
+
+  Rig(std::uint64_t stripe_size, std::uint32_t stripe_count,
+      std::uint32_t oss_count)
+      : fabric(sim, 4 + oss_count, net::FabricParams{}),
+        transport(fabric, net::transport_preset(net::TransportKind::kRdma)),
+        hub(transport) {
+    std::vector<OstTarget> targets;
+    for (std::uint32_t i = 0; i < oss_count; ++i) {
+      OssParams op;
+      op.ost_count = 2;
+      osses.push_back(std::make_unique<Oss>(hub, 4 + i, op));
+      for (std::uint32_t t = 0; t < 2; ++t) targets.push_back({4 + i, t});
+    }
+    MdsParams mp;
+    mp.stripe_size = stripe_size;
+    mp.default_stripe_count = stripe_count;
+    mds = std::make_unique<Mds>(hub, 3, targets, mp);
+    fs = std::make_unique<LustreFileSystem>(hub, 3);
+  }
+};
+
+class StripeSweep : public ::testing::TestWithParam<StripeParam> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, StripeSweep,
+    ::testing::Values(StripeParam{64, 1, 1}, StripeParam{64, 4, 2},
+                      StripeParam{1024, 1, 2}, StripeParam{1024, 4, 2},
+                      StripeParam{1024, 8, 4}, StripeParam{4096, 2, 3},
+                      StripeParam{256, 3, 2}),
+    [](const auto& param_info) {
+      return "ss" + std::to_string(std::get<0>(param_info.param)) + "_sc" +
+             std::to_string(std::get<1>(param_info.param)) + "_oss" +
+             std::to_string(std::get<2>(param_info.param));
+    });
+
+TEST_P(StripeSweep, RoundTripAcrossGeometry) {
+  const auto [ss_kib, stripe_count, oss_count] = GetParam();
+  Rig rig(static_cast<std::uint64_t>(ss_kib) * KiB, stripe_count, oss_count);
+  rig.sim.spawn([](Rig& r) -> Task<void> {
+    // Size chosen to not divide evenly by any stripe geometry.
+    const std::uint64_t size = 7 * MiB + 4321;
+    auto writer = co_await r.fs->create("/f", 0);
+    CO_ASSERT(writer.is_ok());
+    // Append in awkward pieces.
+    std::uint64_t off = 0;
+    while (off < size) {
+      const std::uint64_t n = std::min<std::uint64_t>(777 * KiB + 77,
+                                                      size - off);
+      CO_ASSERT_OK(co_await writer.value()->append(
+          make_bytes(pattern_bytes(1, off, n))));
+      off += n;
+    }
+    CO_ASSERT_OK(co_await writer.value()->close());
+
+    auto reader = co_await r.fs->open("/f", 1);
+    CO_ASSERT(reader.is_ok());
+    CO_ASSERT(reader.value()->size() == size);
+    // Whole-file and a handful of unaligned windows.
+    auto whole = co_await reader.value()->read(0, size);
+    CO_ASSERT(whole.is_ok());
+    CO_ASSERT(verify_pattern(1, 0, whole.value()));
+    for (const std::uint64_t woff : {1ull, 333333ull, 5ull * MiB + 13}) {
+      const std::uint64_t wlen = std::min<std::uint64_t>(1 * MiB + 7,
+                                                         size - woff);
+      auto window = co_await reader.value()->read(woff, wlen);
+      CO_ASSERT(window.is_ok());
+      CO_ASSERT(verify_pattern(1, woff, window.value()));
+    }
+  }(rig));
+  rig.sim.run();
+}
+
+TEST_P(StripeSweep, DataSpreadMatchesStripeCount) {
+  const auto [ss_kib, stripe_count, oss_count] = GetParam();
+  Rig rig(static_cast<std::uint64_t>(ss_kib) * KiB, stripe_count, oss_count);
+  rig.sim.spawn([](Rig& r) -> Task<void> {
+    auto writer = co_await r.fs->create("/f", 0);
+    CO_ASSERT(writer.is_ok());
+    CO_ASSERT_OK(co_await writer.value()->append(
+        make_bytes(pattern_bytes(2, 0, 16 * MiB))));
+    CO_ASSERT_OK(co_await writer.value()->close());
+  }(rig));
+  rig.sim.run();
+  std::uint64_t total = 0;
+  for (const auto& oss : rig.osses) total += oss->used_bytes();
+  EXPECT_EQ(total, 16 * MiB);
+}
+
+TEST(StripeScalingTest, WiderStripesAreFaster) {
+  // One writer, a single 32 MiB write (all stripe chunks issued in
+  // parallel): striping over 8 OSTs on 4 OSS must beat a single OST.
+  // (Small synchronous appends would hide the parallelism behind the
+  // per-append round trip.)
+  auto run = [](std::uint32_t stripes, std::uint32_t oss_count) {
+    Rig rig(1 * MiB, stripes, oss_count);
+    rig.sim.spawn([](Rig& r) -> Task<void> {
+      auto writer = co_await r.fs->create("/f", 0);
+      CO_ASSERT(writer.is_ok());
+      CO_ASSERT_OK(co_await writer.value()->append(
+          make_bytes(pattern_bytes(3, 0, 32 * MiB))));
+      CO_ASSERT_OK(co_await writer.value()->close());
+    }(rig));
+    rig.sim.run();
+    return rig.sim.now();
+  };
+  const auto narrow = run(1, 4);
+  const auto wide = run(8, 4);
+  EXPECT_GT(static_cast<double>(narrow), 1.8 * static_cast<double>(wide))
+      << "narrow=" << narrow << " wide=" << wide;
+}
+
+}  // namespace
+}  // namespace hpcbb::lustre

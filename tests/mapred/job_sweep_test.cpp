@@ -1,0 +1,167 @@
+// Parameterized MapReduce sweeps: sort correctness must survive every
+// combination of block size, split size, reducer count, and file count —
+// the split/record alignment math is where off-by-one bugs hide.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "testing/co_assert.h"
+#include "common/units.h"
+#include "cluster/cluster.h"
+#include "mapred/workloads.h"
+#include "sim/sync.h"
+
+namespace hpcbb::mapred {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using cluster::FsKind;
+using sim::Task;
+
+// (block_size_mib, reducers, files, records_per_file)
+using JobParam = std::tuple<std::uint32_t, std::uint32_t, std::uint32_t,
+                            std::uint32_t>;
+
+class SortSweep : public ::testing::TestWithParam<JobParam> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, SortSweep,
+    ::testing::Values(JobParam{2, 1, 1, 30000},    // single everything
+                      JobParam{2, 7, 3, 50000},    // odd reducer count
+                      JobParam{4, 4, 4, 80000},    // balanced
+                      JobParam{8, 16, 2, 120000},  // more reducers than maps
+                      JobParam{3, 5, 5, 40000}),   // nothing divides anything
+    [](const auto& param_info) {
+      return "b" + std::to_string(std::get<0>(param_info.param)) + "_r" +
+             std::to_string(std::get<1>(param_info.param)) + "_f" +
+             std::to_string(std::get<2>(param_info.param)) + "_n" +
+             std::to_string(std::get<3>(param_info.param));
+    });
+
+TEST_P(SortSweep, GloballySortedAndComplete) {
+  const auto [block_mib, reducers, files, records] = GetParam();
+  ClusterConfig config;
+  config.compute_nodes = 4;
+  config.kv_servers = 2;
+  config.oss_count = 2;
+  config.block_size = static_cast<std::uint64_t>(block_mib) * MiB;
+  config.kv_memory_per_server = 128 * MiB;
+  Cluster cluster(config);
+
+  std::uint64_t in_sum = 1, out_sum = 2;
+  bool sorted = false;
+  cluster.sim().spawn([](Cluster& c, std::uint32_t n_files,
+                         std::uint32_t n_records, std::uint32_t n_reducers,
+                         std::uint64_t& in, std::uint64_t& out,
+                         bool& is_sorted) -> Task<void> {
+    const auto kind = FsKind::kBurstBuffer;
+    GenerateParams gen;
+    gen.files = n_files;
+    gen.records_per_file = n_records;
+    auto generated = co_await generate_records_input(
+        c.filesystem(kind), c.hub_for(kind), c.compute_nodes(), gen);
+    CO_ASSERT(generated.is_ok());
+    in = generated.value().checksum;
+
+    auto runner = c.make_runner(kind);
+    SortJob job(n_reducers);
+    std::vector<std::string> inputs;
+    for (std::uint32_t i = 0; i < n_files; ++i) {
+      inputs.push_back(gen.dir + "/part-" + std::to_string(i));
+    }
+    auto stats = co_await runner->run(job, inputs, "/out");
+    CO_ASSERT(stats.is_ok());
+    CO_ASSERT(stats.value().input_bytes ==
+              static_cast<std::uint64_t>(n_files) * n_records * kRecordSize);
+
+    Bytes all;
+    for (std::uint32_t r = 0; r < n_reducers; ++r) {
+      auto reader =
+          co_await c.filesystem(kind).open("/out/part-" + std::to_string(r),
+                                           0);
+      CO_ASSERT(reader.is_ok());
+      auto data = co_await reader.value()->read(0, reader.value()->size());
+      CO_ASSERT(data.is_ok());
+      all.insert(all.end(), data.value().begin(), data.value().end());
+    }
+    is_sorted = records_sorted(all);
+    out = records_checksum(all);
+  }(cluster, files, records, reducers, in_sum, out_sum, sorted));
+  cluster.sim().run();
+  EXPECT_TRUE(sorted);
+  EXPECT_EQ(in_sum, out_sum);
+}
+
+// Split-size override: forcing splits that are *not* block-aligned must not
+// change results (record-boundary adjustment at work).
+TEST(SplitAlignmentTest, NonBlockAlignedSplitsStillCorrect) {
+  ClusterConfig config;
+  config.compute_nodes = 4;
+  config.kv_servers = 2;
+  config.oss_count = 2;
+  config.block_size = 4 * MiB;
+  config.mapred.split_size = 1 * MiB + 12345;  // deliberately misaligned
+  Cluster cluster(config);
+  std::uint64_t in_sum = 1, out_sum = 2;
+  cluster.sim().spawn([](Cluster& c, std::uint64_t& in,
+                         std::uint64_t& out) -> Task<void> {
+    const auto kind = FsKind::kBurstBuffer;
+    GenerateParams gen;
+    gen.files = 2;
+    gen.records_per_file = 60000;
+    auto generated = co_await generate_records_input(
+        c.filesystem(kind), c.hub_for(kind), c.compute_nodes(), gen);
+    CO_ASSERT(generated.is_ok());
+    in = generated.value().checksum;
+    auto runner = c.make_runner(kind);
+    SortJob job(4);
+    const std::vector<std::string> inputs{gen.dir + "/part-0",
+                                          gen.dir + "/part-1"};
+    auto stats = co_await runner->run(job, inputs, "/out");
+    CO_ASSERT(stats.is_ok());
+    Bytes all;
+    for (std::uint32_t r = 0; r < 4; ++r) {
+      auto reader = co_await c.filesystem(kind).open(
+          "/out/part-" + std::to_string(r), 0);
+      CO_ASSERT(reader.is_ok());
+      auto data = co_await reader.value()->read(0, reader.value()->size());
+      CO_ASSERT(data.is_ok());
+      all.insert(all.end(), data.value().begin(), data.value().end());
+    }
+    CO_ASSERT(records_sorted(all));
+    out = records_checksum(all);
+  }(cluster, in_sum, out_sum));
+  cluster.sim().run();
+  EXPECT_EQ(in_sum, out_sum);
+}
+
+TEST(DeterminismTest, IdenticalRunsProduceIdenticalTimings) {
+  // The whole stack is deterministic: two identical cluster runs give the
+  // same simulated makespan and event count, bit for bit.
+  auto run_once = [] {
+    ClusterConfig config;
+    config.compute_nodes = 4;
+    config.kv_servers = 2;
+    config.oss_count = 2;
+    Cluster cluster(config);
+    cluster.sim().spawn([](Cluster& c) -> Task<void> {
+      const auto kind = FsKind::kBurstBuffer;
+      DfsioParams params;
+      params.files = 4;
+      params.file_size = 16 * MiB;
+      auto w = co_await dfsio_write(c.filesystem(kind), c.hub_for(kind),
+                                    c.compute_nodes(), params);
+      CO_ASSERT(w.is_ok());
+      auto r = co_await dfsio_read(c.filesystem(kind), c.hub_for(kind),
+                                   c.compute_nodes(), params);
+      CO_ASSERT(r.is_ok());
+    }(cluster));
+    cluster.sim().run();
+    return std::pair{cluster.sim().now(), cluster.sim().events_processed()};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace hpcbb::mapred

@@ -1,0 +1,107 @@
+// Two-level (leaf/spine) topology: rack mapping, intra- vs inter-rack
+// latency, and oversubscription on the shared rack uplinks.
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "net/fabric.h"
+#include "sim/sync.h"
+
+namespace hpcbb::net {
+namespace {
+
+using namespace hpcbb::duration;  // NOLINT
+using sim::Simulation;
+using sim::SimTime;
+using sim::Task;
+
+FabricParams racked(std::uint32_t nodes_per_rack,
+                    std::uint64_t rack_uplink) {
+  FabricParams p;
+  p.link_bytes_per_sec = 100 * MB;
+  p.hop_latency_ns = 1 * us;
+  p.nodes_per_rack = nodes_per_rack;
+  p.rack_uplink_bytes_per_sec = rack_uplink;
+  p.spine_latency_ns = 2 * us;
+  return p;
+}
+
+TEST(RackTest, RackMapping) {
+  Simulation sim;
+  Fabric fabric(sim, 10, racked(4, 400 * MB));
+  EXPECT_EQ(fabric.rack_of(0), 0u);
+  EXPECT_EQ(fabric.rack_of(3), 0u);
+  EXPECT_EQ(fabric.rack_of(4), 1u);
+  EXPECT_EQ(fabric.rack_of(9), 2u);
+  EXPECT_EQ(fabric.rack_count(), 3u);
+}
+
+TEST(RackTest, FlatFabricIsOneRack) {
+  Simulation sim;
+  Fabric fabric(sim, 16, FabricParams{});
+  EXPECT_EQ(fabric.rack_count(), 1u);
+  EXPECT_EQ(fabric.rack_of(15), 0u);
+}
+
+TEST(RackTest, CrossRackPaysSpineLatency) {
+  Simulation sim;
+  Fabric fabric(sim, 8, racked(4, 1000 * MB));  // uplink not a bottleneck
+  SimTime intra = 0, inter = 0;
+  sim.spawn([](Fabric& f, SimTime& t_intra, SimTime& t_inter) -> Task<void> {
+    SimTime t0 = f.simulation().now();
+    (void)co_await f.deliver(0, 1, 64);  // same rack
+    t_intra = f.simulation().now() - t0;
+    t0 = f.simulation().now();
+    (void)co_await f.deliver(0, 5, 64);  // other rack
+    t_inter = f.simulation().now() - t0;
+  }(fabric, intra, inter));
+  sim.run();
+  EXPECT_GT(inter, intra);
+  // Extra cost is the two spine legs (leaf->spine and spine->leaf).
+  EXPECT_NEAR(static_cast<double>(inter - intra), 2.0 * 2.0 * us, 1.0 * us);
+}
+
+TEST(RackTest, IntraRackUnaffectedByRackUplink) {
+  Simulation sim;
+  Fabric fabric(sim, 8, racked(4, 1 * MB));  // absurdly slow uplink
+  sim.spawn([](Fabric& f) -> Task<void> {
+    (void)co_await f.deliver(0, 1, 10 * MB);  // same rack
+  }(fabric));
+  sim.run();
+  // 10 MB at 100 MB/s node links: 100 ms (+1 us); the 1 MB/s rack uplink
+  // must not be involved.
+  EXPECT_LT(sim.now(), 102 * ms);
+}
+
+TEST(RackTest, OversubscriptionThrottlesCrossRackAggregate) {
+  // 4 senders in rack 0 -> 4 receivers in rack 1. Node links are 100 MB/s
+  // each (400 aggregate) but the rack uplink is 200 MB/s: cross-rack
+  // aggregate must be uplink-bound.
+  Simulation sim;
+  Fabric fabric(sim, 8, racked(4, 200 * MB));
+  for (NodeId s = 0; s < 4; ++s) {
+    sim.spawn([](Fabric& f, NodeId src) -> Task<void> {
+      (void)co_await f.deliver(src, src + 4, 10 * MB);
+    }(fabric, s));
+  }
+  sim.run();
+  const double agg_mbps = throughput_mbps(40 * MB, sim.now());
+  EXPECT_LT(agg_mbps, 210.0);
+  EXPECT_GT(agg_mbps, 150.0);
+}
+
+TEST(RackTest, SameRackAggregateUsesFullBisection) {
+  // The same four flows kept inside one rack run at node-link speed.
+  Simulation sim;
+  Fabric fabric(sim, 8, racked(8, 200 * MB));  // everything in rack 0
+  for (NodeId s = 0; s < 4; ++s) {
+    sim.spawn([](Fabric& f, NodeId src) -> Task<void> {
+      (void)co_await f.deliver(src, src + 4, 10 * MB);
+    }(fabric, s));
+  }
+  sim.run();
+  const double agg_mbps = throughput_mbps(40 * MB, sim.now());
+  EXPECT_GT(agg_mbps, 380.0);
+}
+
+}  // namespace
+}  // namespace hpcbb::net

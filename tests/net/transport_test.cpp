@@ -1,0 +1,138 @@
+#include "net/transport.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/co_assert.h"
+#include "common/units.h"
+#include "sim/sync.h"
+
+namespace hpcbb::net {
+namespace {
+
+using namespace hpcbb::duration;  // NOLINT
+using sim::Simulation;
+using sim::SimTime;
+using sim::Task;
+
+struct Rig {
+  Simulation sim;
+  Fabric fabric;
+  explicit Rig(std::uint32_t nodes = 4) : fabric(sim, nodes, FabricParams{}) {}
+
+  // Run `bytes` through `transport` from 0 to 1 and return elapsed ns.
+  SimTime timed_send(Transport& transport, std::uint64_t bytes) {
+    const SimTime start = sim.now();
+    sim.spawn([](Transport& t, std::uint64_t b) -> Task<void> {
+      Status st = co_await t.send(0, 1, b);
+      CO_ASSERT(st.is_ok());
+    }(transport, bytes));
+    sim.run();
+    return sim.now() - start;
+  }
+};
+
+TEST(TransportTest, PresetsHaveExpectedShape) {
+  const auto rdma = transport_preset(TransportKind::kRdma);
+  const auto ipoib = transport_preset(TransportKind::kIpoib);
+  const auto tenge = transport_preset(TransportKind::kTenGigE);
+  const auto ge = transport_preset(TransportKind::kGigE);
+
+  // Latency ordering: RDMA << IPoIB < 10GigE < 1GigE.
+  EXPECT_LT(rdma.msg_latency_ns, ipoib.msg_latency_ns / 5);
+  EXPECT_LT(ipoib.msg_latency_ns, tenge.msg_latency_ns);
+  EXPECT_LT(tenge.msg_latency_ns, ge.msg_latency_ns);
+  // Bandwidth ordering: RDMA >> IPoIB ~ 10GigE >> 1GigE.
+  EXPECT_GT(rdma.flow_rate_cap, 3 * ipoib.flow_rate_cap);
+  EXPECT_GT(ipoib.flow_rate_cap, 5 * ge.flow_rate_cap);
+  // Only RDMA is one-sided capable.
+  EXPECT_TRUE(rdma.one_sided_capable);
+  EXPECT_FALSE(ipoib.one_sided_capable);
+  EXPECT_FALSE(tenge.one_sided_capable);
+  EXPECT_FALSE(ge.one_sided_capable);
+}
+
+TEST(TransportTest, SmallMessageLatencyDominatedByStack) {
+  Rig rig;
+  Transport rdma(rig.fabric, transport_preset(TransportKind::kRdma));
+  const SimTime t = rig.timed_send(rdma, 64);
+  // Small RDMA message: ~1-3 us total.
+  EXPECT_LT(t, 4 * us);
+  EXPECT_GT(t, 1 * us);
+}
+
+TEST(TransportTest, RdmaFasterThanIpoibForLargeMessages) {
+  Rig rig1, rig2;
+  Transport rdma(rig1.fabric, transport_preset(TransportKind::kRdma));
+  Transport ipoib(rig2.fabric, transport_preset(TransportKind::kIpoib));
+  const SimTime t_rdma = rig1.timed_send(rdma, 4 * MiB);
+  const SimTime t_ipoib = rig2.timed_send(ipoib, 4 * MiB);
+  const double speedup =
+      static_cast<double>(t_ipoib) / static_cast<double>(t_rdma);
+  EXPECT_GT(speedup, 3.0);
+  EXPECT_LT(speedup, 6.0);
+}
+
+TEST(TransportTest, OneSidedReadMovesDataWithoutRemoteCpu) {
+  Rig rig;
+  Transport rdma(rig.fabric, transport_preset(TransportKind::kRdma));
+  rig.sim.spawn([](Transport& t) -> Task<void> {
+    Status st = co_await t.rdma_read(0, 1, 1 * MiB);
+    CO_ASSERT(st.is_ok());
+  }(rdma));
+  rig.sim.run();
+  // Remote CPU untouched: charge_cpu queue for node 1 never used. We verify
+  // indirectly by issuing CPU work on node 1 afterwards — it starts at once.
+  SimTime cpu_done = 0;
+  rig.sim.spawn([](Rig& r, SimTime& out) -> Task<void> {
+    const SimTime begin = r.sim.now();
+    co_await r.fabric.charge_cpu(1, 10);
+    out = r.sim.now() - begin;
+  }(rig, cpu_done));
+  rig.sim.run();
+  EXPECT_EQ(cpu_done, 10u);
+}
+
+TEST(TransportTest, OneSidedOpsRejectedOnSocketTransports) {
+  Rig rig;
+  Transport ipoib(rig.fabric, transport_preset(TransportKind::kIpoib));
+  Status read_status, write_status;
+  rig.sim.spawn([](Transport& t, Status& rs, Status& ws) -> Task<void> {
+    rs = co_await t.rdma_read(0, 1, 1024);
+    ws = co_await t.rdma_write(0, 1, 1024);
+  }(ipoib, read_status, write_status));
+  rig.sim.run();
+  EXPECT_EQ(read_status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(write_status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TransportTest, SendToDownNodeFails) {
+  Rig rig;
+  Transport rdma(rig.fabric, transport_preset(TransportKind::kRdma));
+  rig.fabric.set_node_up(1, false);
+  Status status;
+  rig.sim.spawn([](Transport& t, Status& out) -> Task<void> {
+    out = co_await t.send(0, 1, 1024);
+  }(rdma, status));
+  rig.sim.run();
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+TEST(TransportTest, RdmaWriteThroughputApproachesLinkRate) {
+  Rig rig;
+  Transport rdma(rig.fabric, transport_preset(TransportKind::kRdma));
+  constexpr std::uint64_t kTotal = 256 * MiB;
+  rig.sim.spawn([](Transport& t) -> Task<void> {
+    for (int i = 0; i < 64; ++i) {
+      Status st = co_await t.rdma_write(0, 1, kTotal / 64);
+      CO_ASSERT(st.is_ok());
+    }
+  }(rdma));
+  rig.sim.run();
+  const double gbps = static_cast<double>(kTotal) / 1e9 /
+                      ns_to_sec(rig.sim.now());
+  EXPECT_GT(gbps, 4.5);   // close to the 6 GB/s FDR cap
+  EXPECT_LT(gbps, 6.05);
+}
+
+}  // namespace
+}  // namespace hpcbb::net

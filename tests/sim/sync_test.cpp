@@ -1,0 +1,266 @@
+#include "sim/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/simulation.h"
+
+namespace hpcbb::sim {
+namespace {
+
+using namespace hpcbb::duration;  // NOLINT
+
+TEST(ConditionTest, NotifyOneWakesSingleWaiter) {
+  Simulation sim;
+  Condition cond(sim);
+  int woken = 0;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn([](Condition& c, int& out) -> Task<void> {
+      co_await c.wait();
+      ++out;
+    }(cond, woken));
+  }
+  sim.spawn([](Simulation& s, Condition& c) -> Task<void> {
+    co_await s.delay(10);
+    c.notify_one();
+  }(sim, cond));
+  sim.run();
+  EXPECT_EQ(woken, 1);
+  EXPECT_EQ(cond.waiter_count(), 2u);
+}
+
+TEST(ConditionTest, NotifyAllWakesEveryone) {
+  Simulation sim;
+  Condition cond(sim);
+  int woken = 0;
+  for (int i = 0; i < 5; ++i) {
+    sim.spawn([](Condition& c, int& out) -> Task<void> {
+      co_await c.wait();
+      ++out;
+    }(cond, woken));
+  }
+  sim.spawn([](Simulation& s, Condition& c) -> Task<void> {
+    co_await s.delay(1);
+    c.notify_all();
+  }(sim, cond));
+  sim.run();
+  EXPECT_EQ(woken, 5);
+  EXPECT_EQ(cond.waiter_count(), 0u);
+}
+
+TEST(EventTest, LatchedSemantics) {
+  Simulation sim;
+  Event ev(sim);
+  std::vector<SimTime> wakeups;
+  // Early waiter.
+  sim.spawn([](Simulation& s, Event& e, std::vector<SimTime>& out) -> Task<void> {
+    co_await e.wait();
+    out.push_back(s.now());
+  }(sim, ev, wakeups));
+  sim.spawn([](Simulation& s, Event& e) -> Task<void> {
+    co_await s.delay(100);
+    e.set();
+  }(sim, ev));
+  // Late waiter: waits after the event is already set.
+  sim.spawn([](Simulation& s, Event& e, std::vector<SimTime>& out) -> Task<void> {
+    co_await s.delay(200);
+    co_await e.wait();
+    out.push_back(s.now());
+  }(sim, ev, wakeups));
+  sim.run();
+  ASSERT_EQ(wakeups.size(), 2u);
+  EXPECT_EQ(wakeups[0], 100u);
+  EXPECT_EQ(wakeups[1], 200u);
+  EXPECT_TRUE(ev.is_set());
+}
+
+TEST(ChannelTest, PushThenRecv) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  int got = 0;
+  ch.push(7);
+  sim.spawn([](Channel<int>& c, int& out) -> Task<void> {
+    out = co_await c.recv();
+  }(ch, got));
+  sim.run();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(ChannelTest, RecvBlocksUntilPush) {
+  Simulation sim;
+  Channel<std::string> ch(sim);
+  std::string got;
+  SimTime at = 0;
+  sim.spawn([](Simulation& s, Channel<std::string>& c, std::string& out,
+               SimTime& t) -> Task<void> {
+    out = co_await c.recv();
+    t = s.now();
+  }(sim, ch, got, at));
+  sim.spawn([](Simulation& s, Channel<std::string>& c) -> Task<void> {
+    co_await s.delay(42);
+    c.push("block-data");
+  }(sim, ch));
+  sim.run();
+  EXPECT_EQ(got, "block-data");
+  EXPECT_EQ(at, 42u);
+}
+
+TEST(ChannelTest, FifoOrderPreserved) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  std::vector<int> got;
+  sim.spawn([](Channel<int>& c, std::vector<int>& out) -> Task<void> {
+    for (int i = 0; i < 5; ++i) out.push_back(co_await c.recv());
+  }(ch, got));
+  sim.spawn([](Simulation& s, Channel<int>& c) -> Task<void> {
+    for (int i = 0; i < 5; ++i) {
+      c.push(i);
+      co_await s.delay(1);
+    }
+  }(sim, ch));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ChannelTest, ManyConsumersEachItemDeliveredOnce) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  std::vector<int> got;
+  for (int c = 0; c < 4; ++c) {
+    sim.spawn([](Channel<int>& chan, std::vector<int>& out) -> Task<void> {
+      for (;;) {
+        const int v = co_await chan.recv();
+        out.push_back(v);
+      }
+    }(ch, got));
+  }
+  sim.spawn([](Simulation& s, Channel<int>& chan) -> Task<void> {
+    for (int i = 0; i < 20; ++i) {
+      chan.push(i);
+      if (i % 3 == 0) co_await s.delay(5);
+    }
+  }(sim, ch));
+  sim.run();
+  ASSERT_EQ(got.size(), 20u);
+  std::vector<int> sorted = got;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+}
+
+TEST(ChannelTest, TryRecv) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  int out = 0;
+  EXPECT_FALSE(ch.try_recv(out));
+  ch.push(9);
+  EXPECT_TRUE(ch.try_recv(out));
+  EXPECT_EQ(out, 9);
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(SemaphoreTest, LimitsConcurrency) {
+  Simulation sim;
+  Semaphore sem(sim, 2);
+  int concurrent = 0;
+  int peak = 0;
+  for (int i = 0; i < 6; ++i) {
+    sim.spawn([](Simulation& s, Semaphore& sm, int& cur, int& pk) -> Task<void> {
+      co_await sm.acquire();
+      ++cur;
+      pk = std::max(pk, cur);
+      co_await s.delay(10);
+      --cur;
+      sm.release();
+    }(sim, sem, concurrent, peak));
+  }
+  sim.run();
+  EXPECT_EQ(peak, 2);
+  EXPECT_EQ(concurrent, 0);
+  EXPECT_EQ(sem.available(), 2u);
+  // 6 jobs, width 2, 10 ns each => 30 ns.
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(SemaphoreTest, TryAcquire) {
+  Simulation sim;
+  Semaphore sem(sim, 1);
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_FALSE(sem.try_acquire());
+  sem.release();
+  EXPECT_TRUE(sem.try_acquire());
+}
+
+TEST(SemaphoreTest, MultiPermitAcquire) {
+  Simulation sim;
+  Semaphore sem(sim, 4);
+  std::vector<int> order;
+  sim.spawn([](Simulation& s, Semaphore& sm, std::vector<int>& out) -> Task<void> {
+    co_await sm.acquire(4);
+    out.push_back(1);
+    co_await s.delay(10);
+    sm.release(4);
+  }(sim, sem, order));
+  sim.spawn([](Semaphore& sm, std::vector<int>& out) -> Task<void> {
+    co_await sm.acquire(3);
+    out.push_back(2);
+    sm.release(3);
+  }(sem, order));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(ParallelTest, JoinsAllBranches) {
+  Simulation sim;
+  std::vector<int> done;
+  sim.spawn([](Simulation& s, std::vector<int>& out) -> Task<void> {
+    std::vector<Task<void>> branches;
+    for (int i = 0; i < 4; ++i) {
+      branches.push_back([](Simulation& s2, std::vector<int>& o, int id) -> Task<void> {
+        co_await s2.delay(static_cast<SimTime>(10 * (id + 1)));
+        o.push_back(id);
+      }(s, out, i));
+    }
+    co_await parallel(s, std::move(branches));
+    out.push_back(99);
+  }(sim, done));
+  sim.run();
+  ASSERT_EQ(done.size(), 5u);
+  EXPECT_EQ(done.back(), 99);
+  EXPECT_EQ(sim.now(), 40u);  // joined at the slowest branch
+}
+
+TEST(ParallelTest, EmptyListCompletesImmediately) {
+  Simulation sim;
+  bool done = false;
+  sim.spawn([](Simulation& s, bool& out) -> Task<void> {
+    co_await parallel(s, {});
+    out = true;
+  }(sim, done));
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim.now(), 0u);
+}
+
+TEST(ParallelTest, CollectPreservesInputOrder) {
+  Simulation sim;
+  std::vector<int> results;
+  sim.spawn([](Simulation& s, std::vector<int>& out) -> Task<void> {
+    std::vector<Task<int>> branches;
+    for (int i = 0; i < 4; ++i) {
+      branches.push_back([](Simulation& s2, int id) -> Task<int> {
+        // Later branches finish earlier; results must still be input-ordered.
+        co_await s2.delay(static_cast<SimTime>(100 - id * 10));
+        co_return id * id;
+      }(s, i));
+    }
+    out = co_await parallel_collect(s, std::move(branches));
+  }(sim, results));
+  sim.run();
+  EXPECT_EQ(results, (std::vector<int>{0, 1, 4, 9}));
+}
+
+}  // namespace
+}  // namespace hpcbb::sim

@@ -1,0 +1,144 @@
+#include "storage/local_store.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/co_assert.h"
+#include "common/units.h"
+#include "sim/sync.h"
+
+namespace hpcbb::storage {
+namespace {
+
+using namespace hpcbb::duration;  // NOLINT
+using sim::Simulation;
+using sim::Task;
+
+DeviceParams small_ram() {
+  DeviceParams p = ramdisk_preset(4 * MiB);
+  return p;
+}
+
+TEST(LocalStoreTest, AppendReadRoundTrip) {
+  Simulation sim;
+  Device dev(sim, small_ram());
+  LocalStore store(dev);
+  const Bytes payload = pattern_bytes(11, 0, 1000);
+  Bytes got;
+  sim.spawn([](LocalStore& ls, const Bytes& data, Bytes& out) -> Task<void> {
+    CO_ASSERT((co_await ls.append("blk_1", data)).is_ok());
+    auto r = co_await ls.read("blk_1", 0, data.size());
+    CO_ASSERT(r.is_ok());
+    out = std::move(r).value();
+  }(store, payload, got));
+  sim.run();
+  EXPECT_EQ(got, payload);
+  EXPECT_EQ(store.object_size("blk_1"), 1000u);
+  EXPECT_EQ(store.used_bytes(), 1000u);
+}
+
+TEST(LocalStoreTest, MultipleAppendsConcatenate) {
+  Simulation sim;
+  Device dev(sim, small_ram());
+  LocalStore store(dev);
+  Bytes got;
+  sim.spawn([](LocalStore& ls, Bytes& out) -> Task<void> {
+    CO_ASSERT((co_await ls.append("obj", pattern_bytes(5, 0, 100))).is_ok());
+    CO_ASSERT((co_await ls.append("obj", pattern_bytes(5, 100, 60))).is_ok());
+    auto r = co_await ls.read("obj", 0, 160);
+    CO_ASSERT(r.is_ok());
+    out = std::move(r).value();
+  }(store, got));
+  sim.run();
+  EXPECT_TRUE(verify_pattern(5, 0, got));
+}
+
+TEST(LocalStoreTest, PartialReads) {
+  Simulation sim;
+  Device dev(sim, small_ram());
+  LocalStore store(dev);
+  Bytes got;
+  sim.spawn([](LocalStore& ls, Bytes& out) -> Task<void> {
+    CO_ASSERT((co_await ls.append("obj", pattern_bytes(9, 0, 4096))).is_ok());
+    auto r = co_await ls.read("obj", 1024, 512);
+    CO_ASSERT(r.is_ok());
+    out = std::move(r).value();
+  }(store, got));
+  sim.run();
+  EXPECT_TRUE(verify_pattern(9, 1024, got));
+}
+
+TEST(LocalStoreTest, ReadErrors) {
+  Simulation sim;
+  Device dev(sim, small_ram());
+  LocalStore store(dev);
+  StatusCode missing{}, range{};
+  sim.spawn([](LocalStore& ls, StatusCode& m, StatusCode& r) -> Task<void> {
+    m = (co_await ls.read("ghost", 0, 1)).code();
+    CO_ASSERT((co_await ls.append("obj", pattern_bytes(1, 0, 10))).is_ok());
+    r = (co_await ls.read("obj", 5, 10)).code();
+  }(store, missing, range));
+  sim.run();
+  EXPECT_EQ(missing, StatusCode::kNotFound);
+  EXPECT_EQ(range, StatusCode::kOutOfRange);
+}
+
+TEST(LocalStoreTest, RemoveFreesSpace) {
+  Simulation sim;
+  Device dev(sim, small_ram());
+  LocalStore store(dev);
+  sim.spawn([](LocalStore& ls) -> Task<void> {
+    CO_ASSERT((co_await ls.append("a", pattern_bytes(1, 0, 2048))).is_ok());
+  }(store));
+  sim.run();
+  EXPECT_EQ(store.used_bytes(), 2048u);
+  EXPECT_TRUE(store.remove("a").is_ok());
+  EXPECT_EQ(store.used_bytes(), 0u);
+  EXPECT_FALSE(store.contains("a"));
+  EXPECT_EQ(store.remove("a").code(), StatusCode::kNotFound);
+}
+
+TEST(LocalStoreTest, CapacityExhaustion) {
+  Simulation sim;
+  Device dev(sim, small_ram());  // 4 MiB
+  LocalStore store(dev);
+  Status status;
+  sim.spawn([](LocalStore& ls, Status& out) -> Task<void> {
+    CO_ASSERT(
+        (co_await ls.append("a", pattern_bytes(1, 0, 3 * MiB))).is_ok());
+    out = co_await ls.append("b", pattern_bytes(2, 0, 2 * MiB));
+  }(store, status));
+  sim.run();
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(store.contains("b"));
+}
+
+TEST(LocalStoreTest, WipeDropsEverythingInstantly) {
+  Simulation sim;
+  Device dev(sim, small_ram());
+  LocalStore store(dev);
+  sim.spawn([](LocalStore& ls) -> Task<void> {
+    CO_ASSERT((co_await ls.append("a", pattern_bytes(1, 0, 100))).is_ok());
+    CO_ASSERT((co_await ls.append("b", pattern_bytes(2, 0, 100))).is_ok());
+  }(store));
+  sim.run();
+  store.wipe();
+  EXPECT_EQ(store.object_count(), 0u);
+  EXPECT_EQ(store.used_bytes(), 0u);
+}
+
+TEST(LocalStoreTest, DeviceTimeCharged) {
+  Simulation sim;
+  DeviceParams p = small_ram();
+  p.write_bytes_per_sec = 1 * MB;
+  p.seek_ns = 0;
+  Device dev(sim, p);
+  LocalStore store(dev);
+  sim.spawn([](LocalStore& ls) -> Task<void> {
+    CO_ASSERT((co_await ls.append("a", pattern_bytes(1, 0, 1 * MB))).is_ok());
+  }(store));
+  sim.run();
+  EXPECT_EQ(sim.now(), 1 * sec);
+}
+
+}  // namespace
+}  // namespace hpcbb::storage

@@ -1,0 +1,31 @@
+// Coroutine-safe assertion helpers. gtest's ASSERT_* macros `return;` on
+// failure, which is ill-formed inside a coroutine — these co_return instead.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace hpcbb::testing {
+inline Status to_status(const Status& s) { return s; }
+template <typename T>
+Status to_status(const Result<T>& r) {
+  return r.status();
+}
+}  // namespace hpcbb::testing
+
+#define CO_ASSERT(cond)                 \
+  if (!(cond)) {                        \
+    ADD_FAILURE() << "failed: " #cond;  \
+    co_return;                          \
+  } else                                \
+    (void)0
+
+#define CO_ASSERT_OK(expr)                                        \
+  if (auto _co_st = ::hpcbb::testing::to_status(expr);            \
+      !_co_st.is_ok()) {                                          \
+    ADD_FAILURE() << "not ok: " << #expr << " -> "                \
+                  << _co_st.to_string();                          \
+    co_return;                                                    \
+  } else                                                          \
+    (void)0
