@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_bb_transport.dir/bench_a1_bb_transport.cpp.o"
+  "CMakeFiles/bench_a1_bb_transport.dir/bench_a1_bb_transport.cpp.o.d"
+  "bench_a1_bb_transport"
+  "bench_a1_bb_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_bb_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

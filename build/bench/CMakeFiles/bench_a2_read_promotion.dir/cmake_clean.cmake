@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_read_promotion.dir/bench_a2_read_promotion.cpp.o"
+  "CMakeFiles/bench_a2_read_promotion.dir/bench_a2_read_promotion.cpp.o.d"
+  "bench_a2_read_promotion"
+  "bench_a2_read_promotion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_read_promotion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

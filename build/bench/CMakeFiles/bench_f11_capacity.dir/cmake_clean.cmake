@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f11_capacity.dir/bench_f11_capacity.cpp.o"
+  "CMakeFiles/bench_f11_capacity.dir/bench_f11_capacity.cpp.o.d"
+  "bench_f11_capacity"
+  "bench_f11_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f11_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_kv_latency.dir/bench_f1_kv_latency.cpp.o"
+  "CMakeFiles/bench_f1_kv_latency.dir/bench_f1_kv_latency.cpp.o.d"
+  "bench_f1_kv_latency"
+  "bench_f1_kv_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_kv_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

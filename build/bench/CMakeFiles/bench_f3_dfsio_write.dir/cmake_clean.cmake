@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_dfsio_write.dir/bench_f3_dfsio_write.cpp.o"
+  "CMakeFiles/bench_f3_dfsio_write.dir/bench_f3_dfsio_write.cpp.o.d"
+  "bench_f3_dfsio_write"
+  "bench_f3_dfsio_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_dfsio_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

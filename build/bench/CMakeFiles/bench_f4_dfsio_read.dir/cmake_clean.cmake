@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_dfsio_read.dir/bench_f4_dfsio_read.cpp.o"
+  "CMakeFiles/bench_f4_dfsio_read.dir/bench_f4_dfsio_read.cpp.o.d"
+  "bench_f4_dfsio_read"
+  "bench_f4_dfsio_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_dfsio_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

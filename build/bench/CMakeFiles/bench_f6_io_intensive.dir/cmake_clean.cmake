@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_io_intensive.dir/bench_f6_io_intensive.cpp.o"
+  "CMakeFiles/bench_f6_io_intensive.dir/bench_f6_io_intensive.cpp.o.d"
+  "bench_f6_io_intensive"
+  "bench_f6_io_intensive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_io_intensive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_f6_io_intensive.
+# This may be replaced when dependencies are built.

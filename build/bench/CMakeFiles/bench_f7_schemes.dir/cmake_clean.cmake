@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_schemes.dir/bench_f7_schemes.cpp.o"
+  "CMakeFiles/bench_f7_schemes.dir/bench_f7_schemes.cpp.o.d"
+  "bench_f7_schemes"
+  "bench_f7_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f8_fault.dir/bench_f8_fault.cpp.o"
+  "CMakeFiles/bench_f8_fault.dir/bench_f8_fault.cpp.o.d"
+  "bench_f8_fault"
+  "bench_f8_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f8_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

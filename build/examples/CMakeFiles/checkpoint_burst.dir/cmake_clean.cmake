@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_burst.dir/checkpoint_burst.cpp.o"
+  "CMakeFiles/checkpoint_burst.dir/checkpoint_burst.cpp.o.d"
+  "checkpoint_burst"
+  "checkpoint_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_tour.dir/kvstore_tour.cpp.o"
+  "CMakeFiles/kvstore_tour.dir/kvstore_tour.cpp.o.d"
+  "kvstore_tour"
+  "kvstore_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

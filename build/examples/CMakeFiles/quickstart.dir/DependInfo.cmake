@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/hpcbb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapred/CMakeFiles/hpcbb_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/burstbuffer/CMakeFiles/hpcbb_burstbuffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/hpcbb_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/lustre/CMakeFiles/hpcbb_lustre.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/hpcbb_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hpcbb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hpcbb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcbb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hpcbb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

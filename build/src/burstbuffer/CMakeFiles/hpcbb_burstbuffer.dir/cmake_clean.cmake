@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcbb_burstbuffer.dir/agent.cpp.o"
+  "CMakeFiles/hpcbb_burstbuffer.dir/agent.cpp.o.d"
+  "CMakeFiles/hpcbb_burstbuffer.dir/filesystem.cpp.o"
+  "CMakeFiles/hpcbb_burstbuffer.dir/filesystem.cpp.o.d"
+  "CMakeFiles/hpcbb_burstbuffer.dir/master.cpp.o"
+  "CMakeFiles/hpcbb_burstbuffer.dir/master.cpp.o.d"
+  "libhpcbb_burstbuffer.a"
+  "libhpcbb_burstbuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcbb_burstbuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

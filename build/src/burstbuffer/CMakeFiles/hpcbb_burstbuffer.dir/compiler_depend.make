@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hpcbb_burstbuffer.
+# This may be replaced when dependencies are built.

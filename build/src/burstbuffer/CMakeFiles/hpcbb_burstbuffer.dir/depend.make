@@ -1,0 +1,2 @@
+# Empty dependencies file for hpcbb_burstbuffer.
+# This may be replaced when dependencies are built.

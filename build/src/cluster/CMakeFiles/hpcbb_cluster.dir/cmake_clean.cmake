@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcbb_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/hpcbb_cluster.dir/cluster.cpp.o.d"
+  "libhpcbb_cluster.a"
+  "libhpcbb_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcbb_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

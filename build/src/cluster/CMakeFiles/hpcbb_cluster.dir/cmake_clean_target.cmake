@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhpcbb_cluster.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcbb_common.dir/crc32c.cpp.o"
+  "CMakeFiles/hpcbb_common.dir/crc32c.cpp.o.d"
+  "CMakeFiles/hpcbb_common.dir/logging.cpp.o"
+  "CMakeFiles/hpcbb_common.dir/logging.cpp.o.d"
+  "CMakeFiles/hpcbb_common.dir/metrics.cpp.o"
+  "CMakeFiles/hpcbb_common.dir/metrics.cpp.o.d"
+  "CMakeFiles/hpcbb_common.dir/properties.cpp.o"
+  "CMakeFiles/hpcbb_common.dir/properties.cpp.o.d"
+  "CMakeFiles/hpcbb_common.dir/status.cpp.o"
+  "CMakeFiles/hpcbb_common.dir/status.cpp.o.d"
+  "CMakeFiles/hpcbb_common.dir/strings.cpp.o"
+  "CMakeFiles/hpcbb_common.dir/strings.cpp.o.d"
+  "libhpcbb_common.a"
+  "libhpcbb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcbb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcbb_hdfs.dir/client.cpp.o"
+  "CMakeFiles/hpcbb_hdfs.dir/client.cpp.o.d"
+  "CMakeFiles/hpcbb_hdfs.dir/datanode.cpp.o"
+  "CMakeFiles/hpcbb_hdfs.dir/datanode.cpp.o.d"
+  "CMakeFiles/hpcbb_hdfs.dir/namenode.cpp.o"
+  "CMakeFiles/hpcbb_hdfs.dir/namenode.cpp.o.d"
+  "libhpcbb_hdfs.a"
+  "libhpcbb_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcbb_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcbb_kvstore.dir/client.cpp.o"
+  "CMakeFiles/hpcbb_kvstore.dir/client.cpp.o.d"
+  "CMakeFiles/hpcbb_kvstore.dir/server.cpp.o"
+  "CMakeFiles/hpcbb_kvstore.dir/server.cpp.o.d"
+  "CMakeFiles/hpcbb_kvstore.dir/slab.cpp.o"
+  "CMakeFiles/hpcbb_kvstore.dir/slab.cpp.o.d"
+  "CMakeFiles/hpcbb_kvstore.dir/store.cpp.o"
+  "CMakeFiles/hpcbb_kvstore.dir/store.cpp.o.d"
+  "libhpcbb_kvstore.a"
+  "libhpcbb_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcbb_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lustre/client.cpp" "src/lustre/CMakeFiles/hpcbb_lustre.dir/client.cpp.o" "gcc" "src/lustre/CMakeFiles/hpcbb_lustre.dir/client.cpp.o.d"
+  "/root/repo/src/lustre/mds.cpp" "src/lustre/CMakeFiles/hpcbb_lustre.dir/mds.cpp.o" "gcc" "src/lustre/CMakeFiles/hpcbb_lustre.dir/mds.cpp.o.d"
+  "/root/repo/src/lustre/oss.cpp" "src/lustre/CMakeFiles/hpcbb_lustre.dir/oss.cpp.o" "gcc" "src/lustre/CMakeFiles/hpcbb_lustre.dir/oss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hpcbb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hpcbb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcbb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hpcbb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

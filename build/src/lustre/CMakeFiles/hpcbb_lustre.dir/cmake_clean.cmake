@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcbb_lustre.dir/client.cpp.o"
+  "CMakeFiles/hpcbb_lustre.dir/client.cpp.o.d"
+  "CMakeFiles/hpcbb_lustre.dir/mds.cpp.o"
+  "CMakeFiles/hpcbb_lustre.dir/mds.cpp.o.d"
+  "CMakeFiles/hpcbb_lustre.dir/oss.cpp.o"
+  "CMakeFiles/hpcbb_lustre.dir/oss.cpp.o.d"
+  "libhpcbb_lustre.a"
+  "libhpcbb_lustre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcbb_lustre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcbb_mapred.dir/job.cpp.o"
+  "CMakeFiles/hpcbb_mapred.dir/job.cpp.o.d"
+  "CMakeFiles/hpcbb_mapred.dir/workloads.cpp.o"
+  "CMakeFiles/hpcbb_mapred.dir/workloads.cpp.o.d"
+  "libhpcbb_mapred.a"
+  "libhpcbb_mapred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcbb_mapred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

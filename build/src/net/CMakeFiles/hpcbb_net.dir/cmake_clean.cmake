@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcbb_net.dir/fabric.cpp.o"
+  "CMakeFiles/hpcbb_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/hpcbb_net.dir/transport.cpp.o"
+  "CMakeFiles/hpcbb_net.dir/transport.cpp.o.d"
+  "libhpcbb_net.a"
+  "libhpcbb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcbb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

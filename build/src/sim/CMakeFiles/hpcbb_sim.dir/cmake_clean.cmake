@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcbb_sim.dir/simulation.cpp.o"
+  "CMakeFiles/hpcbb_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/hpcbb_sim.dir/trace.cpp.o"
+  "CMakeFiles/hpcbb_sim.dir/trace.cpp.o.d"
+  "libhpcbb_sim.a"
+  "libhpcbb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcbb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcbb_storage.dir/device.cpp.o"
+  "CMakeFiles/hpcbb_storage.dir/device.cpp.o.d"
+  "CMakeFiles/hpcbb_storage.dir/local_store.cpp.o"
+  "CMakeFiles/hpcbb_storage.dir/local_store.cpp.o.d"
+  "libhpcbb_storage.a"
+  "libhpcbb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcbb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/burstbuffer/bb_test.cpp" "tests/CMakeFiles/burstbuffer_test.dir/burstbuffer/bb_test.cpp.o" "gcc" "tests/CMakeFiles/burstbuffer_test.dir/burstbuffer/bb_test.cpp.o.d"
+  "/root/repo/tests/burstbuffer/master_test.cpp" "tests/CMakeFiles/burstbuffer_test.dir/burstbuffer/master_test.cpp.o" "gcc" "tests/CMakeFiles/burstbuffer_test.dir/burstbuffer/master_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/burstbuffer/CMakeFiles/hpcbb_burstbuffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/hpcbb_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/lustre/CMakeFiles/hpcbb_lustre.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hpcbb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hpcbb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcbb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hpcbb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burstbuffer_test.dir/burstbuffer/bb_test.cpp.o"
+  "CMakeFiles/burstbuffer_test.dir/burstbuffer/bb_test.cpp.o.d"
+  "CMakeFiles/burstbuffer_test.dir/burstbuffer/master_test.cpp.o"
+  "CMakeFiles/burstbuffer_test.dir/burstbuffer/master_test.cpp.o.d"
+  "burstbuffer_test"
+  "burstbuffer_test.pdb"
+  "burstbuffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burstbuffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapred_test.dir/mapred/job_sweep_test.cpp.o"
+  "CMakeFiles/mapred_test.dir/mapred/job_sweep_test.cpp.o.d"
+  "CMakeFiles/mapred_test.dir/mapred/mapred_test.cpp.o"
+  "CMakeFiles/mapred_test.dir/mapred/mapred_test.cpp.o.d"
+  "CMakeFiles/mapred_test.dir/mapred/records_test.cpp.o"
+  "CMakeFiles/mapred_test.dir/mapred/records_test.cpp.o.d"
+  "mapred_test"
+  "mapred_test.pdb"
+  "mapred_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapred_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
