@@ -71,6 +71,10 @@ int main(int argc, char** argv) {
   config.kv_memory_per_server = props.get_u64_or("kv.memory", 512 * MiB);
   config.block_size = props.get_u64_or("block.size", 32 * MiB);
   config.bb_promote_on_read = props.get_bool_or("bb.promote", false);
+  // bb.flowctl.low/high/critical/pace_us — watermark + pacing knobs for the
+  // flow-control subsystem (capacity is derived from the KV fleet size).
+  config.bb_flowctl =
+      flowctl::FlowControlParams::from_properties(props, config.bb_flowctl);
   const std::string scheme = props.get_or("bb.scheme", "async");
   config.scheme = scheme == "sync"    ? bb::Scheme::kSync
                   : scheme == "local" ? bb::Scheme::kLocal
@@ -129,6 +133,24 @@ int main(int argc, char** argv) {
               format_duration_ns(results.flush_drain).c_str());
   std::printf("read:  %7.0f MB/s aggregate (%.0f MB/s mean per task)\n",
               results.read.aggregate_mbps, results.read.mean_task_mbps);
+  if (kind == FsKind::kBurstBuffer &&
+      cluster.bb_master().flow_control().enabled()) {
+    const auto& fc = cluster.bb_master().flow_control();
+    auto& metrics = cluster.sim().metrics();
+    std::printf(
+        "flowctl: peak dirty %s (high watermark %s), %llu stalls "
+        "(p99 %s), evicted %s, urgent flushes %llu\n",
+        format_bytes(fc.peak_dirty_bytes()).c_str(),
+        format_bytes(fc.high_bytes()).c_str(),
+        static_cast<unsigned long long>(
+            metrics.counter("flowctl.stalls").get()),
+        format_duration_ns(
+            metrics.histogram("flowctl.stall_ns").quantile(0.99))
+            .c_str(),
+        format_bytes(metrics.counter("flowctl.evicted_bytes").get()).c_str(),
+        static_cast<unsigned long long>(
+            metrics.counter("flowctl.urgent_flushes").get()));
+  }
   std::printf("simulated %s in %llu events\n",
               format_duration_ns(cluster.sim().now()).c_str(),
               static_cast<unsigned long long>(

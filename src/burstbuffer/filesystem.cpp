@@ -125,11 +125,21 @@ class BbWriter final : public fs::Writer {
     }
     Status st;
     sim::Simulation& simref = bbfs_->hub_->transport().fabric().simulation();
+    const sim::SimTime store_start = simref.now();
+    bool backed_off = false;
     for (std::uint32_t attempt = 0; attempt < p.store_retry_limit; ++attempt) {
       st = co_await kv_.set(key, stored, pin);
       if (st.code() != StatusCode::kResourceExhausted) break;
+      backed_off = true;
       simref.metrics().counter("bb.store.backpressure_retries").add();
       co_await simref.delay(p.store_retry_backoff_ns);
+    }
+    if (backed_off) {
+      // Data-plane backpressure (KV memory itself exhausted) — distinct
+      // from control-plane admission stalls (flowctl.stall_ns).
+      simref.metrics()
+          .histogram("flowctl.writer_backoff_ns")
+          .record(simref.now() - store_start);
     }
     if (st.is_ok() && agent_ != nullptr) {
       // BB-Local: second copy on the writer's RAM disk (position-addressed,
@@ -293,6 +303,13 @@ class BbReader final : public fs::Reader {
       Result<Bytes> data = co_await lustre_.read(client_, layout.value(),
                                                  file_offset, length);
       if (!data.is_ok()) co_return data.status();
+      // The buffer copy was evicted (or never promoted): served from Lustre.
+      bbfs_->hub_->transport()
+          .fabric()
+          .simulation()
+          .metrics()
+          .counter("bb.read.lustre_fallbacks")
+          .add();
       if (Status st = validate(block, offset, length, data.value());
           !st.is_ok()) {
         co_return st;

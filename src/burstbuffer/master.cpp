@@ -2,8 +2,30 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
 namespace hpcbb::bb {
+
+flowctl::FlowControlParams scheme_policy(flowctl::FlowControlParams params,
+                                         Scheme scheme) noexcept {
+  if (scheme == Scheme::kSync) {
+    // Write-through: data is durable at ack, so there is no dirty backlog
+    // to bound — only total residency matters. Lift the dirty gate to the
+    // critical watermark and drop pacing (the flush queue stays empty).
+    params.high_watermark = params.critical_watermark;
+    params.background_pace_ns = 0;
+  }
+  return params;
+}
+
+namespace {
+flowctl::FlowControlParams master_flowctl_params(const MasterParams& params,
+                                                 Scheme scheme) {
+  flowctl::FlowControlParams fp = scheme_policy(params.flowctl, scheme);
+  fp.capacity_bytes = params.buffer_capacity_bytes;
+  return fp;
+}
+}  // namespace
 
 Master::Master(net::RpcHub& hub, net::NodeId node,
                std::vector<net::NodeId> kv_servers, net::NodeId lustre_mds,
@@ -14,9 +36,11 @@ Master::Master(net::RpcHub& hub, net::NodeId node,
       scheme_(scheme),
       params_(params),
       lustre_(hub, lustre_mds),
+      flowctl_(hub.transport().fabric().simulation(),
+               master_flowctl_params(params, scheme),
+               static_cast<std::uint32_t>(node)),
       flush_queue_(hub.transport().fabric().simulation()),
-      flush_done_(hub.transport().fabric().simulation()),
-      admission_cv_(hub.transport().fabric().simulation()) {
+      flush_done_(hub.transport().fabric().simulation()) {
   assert(!kv_servers_.empty());
   hub_->bind(node_, kBbCreate, net::typed_handler<BbCreateRequest>([this](
       auto req) { return handle_create(req); }));
@@ -42,6 +66,7 @@ Master::Master(net::RpcHub& hub, net::NodeId node,
         *hub_, kv_servers_[w % kv_servers_.size()], kv_servers_));
     sim.spawn(flush_worker(w));
   }
+  sim.spawn(evict_worker());
 }
 
 Master::~Master() {
@@ -85,14 +110,13 @@ sim::Task<net::RpcResponse> Master::handle_add_block(
     co_return net::rpc_error(
         error(StatusCode::kFailedPrecondition, "file is closed"));
   }
-  co_await admit_block();
+  // Credit-based admission: may evict clean blocks, may stall (but never
+  // reject) under memory pressure.
+  (void)co_await flowctl_.admit(params_.block_size);
   // Re-find: the admission wait suspends, and the file may change meanwhile.
   const auto it2 = files_.find(req->path);
   if (it2 == files_.end()) {
-    if (params_.buffer_capacity_bytes != 0) {
-      reserved_bytes_ -= std::min(reserved_bytes_, params_.block_size);
-      admission_cv_.notify_all();
-    }
+    flowctl_.release_reservation(params_.block_size);
     co_return net::rpc_error(
         error(StatusCode::kNotFound, "file deleted while admitting block"));
   }
@@ -100,7 +124,7 @@ sim::Task<net::RpcResponse> Master::handle_add_block(
   reply->block_index = static_cast<std::uint32_t>(it2->second.blocks.size());
   BbBlockInfo block;
   block.index = reply->block_index;
-  block.reservation_held = params_.buffer_capacity_bytes != 0;
+  block.reservation_held = flowctl_.enabled();
   it2->second.blocks.push_back(block);
   const std::uint64_t wire = reply->wire_size();
   co_return net::rpc_ok<BbAddBlockReply>(std::move(reply), wire);
@@ -121,12 +145,19 @@ sim::Task<net::RpcResponse> Master::handle_complete_block(
   block.size = req->size;
   block.crc32c = req->crc32c;
   block.local_node = req->local_node;
+  const std::uint64_t reserved =
+      block.reservation_held ? params_.block_size : 0;
+  block.reservation_held = false;
   if (req->already_durable) {
-    release_reservation(block);
+    // BB-Sync: durable at ack; the buffer copy is immediately clean.
+    flowctl_.reservation_to_clean(reserved,
+                                  local_object(req->path, block.index),
+                                  block_footprint(req->size));
     block.state = BlockState::kFlushed;
     ++flushed_blocks_;
     flushed_bytes_ += req->size;
   } else {
+    flowctl_.reservation_to_dirty(reserved, block_footprint(req->size));
     block.state = BlockState::kDirty;
     ++dirty_or_flushing_;
     flush_queue_.push(FlushItem{req->path, req->block_index});
@@ -160,6 +191,13 @@ sim::Task<net::RpcResponse> Master::handle_locations(
     co_return net::rpc_error(
         error(StatusCode::kNotFound, "no such file: " + req->path));
   }
+  // Opening for read marks the file's flushed blocks recently used, so the
+  // eviction LRU prefers cold files.
+  for (const BbBlockInfo& block : it->second.blocks) {
+    if (block.state == BlockState::kFlushed) {
+      flowctl_.touch_clean(local_object(req->path, block.index));
+    }
+  }
   auto reply = std::make_shared<BbLocationsReply>();
   reply->file_size = it->second.size;
   reply->block_size = params_.block_size;
@@ -181,13 +219,23 @@ sim::Task<net::RpcResponse> Master::handle_delete(
   FileMeta meta = std::move(it->second);
   files_.erase(it);
   for (BbBlockInfo& block : meta.blocks) {
-    if (block.state == BlockState::kDirty ||
-        block.state == BlockState::kFlushing) {
-      // Its flush item will find the file gone and skip; settle accounting.
-      finish_block(block, BlockState::kFlushed);
-      --flushed_blocks_;  // not actually flushed, just no longer pending
-    } else {
-      release_reservation(block);  // e.g. added but never completed
+    switch (block.state) {
+      case BlockState::kDirty:
+      case BlockState::kFlushing:
+        // Its flush item will find the file gone and skip; settle the
+        // accounting here: the dirty bytes simply leave the buffer.
+        flowctl_.drop_dirty(block_footprint(block.size));
+        assert(dirty_or_flushing_ > 0);
+        --dirty_or_flushing_;
+        if (dirty_or_flushing_ == 0) flush_done_.notify_all();
+        break;
+      case BlockState::kFlushed:
+        flowctl_.forget_clean(local_object(req->path, block.index));
+        break;
+      case BlockState::kOpen:
+      case BlockState::kLost:
+        release_reservation(block);  // e.g. added but never sealed
+        break;
     }
     const std::uint32_t chunks = static_cast<std::uint32_t>(
         (block.size + params_.chunk_size - 1) / params_.chunk_size);
@@ -214,28 +262,14 @@ sim::Task<net::RpcResponse> Master::handle_list(
   co_return net::rpc_ok<BbListReply>(std::move(reply), wire);
 }
 
-sim::Task<void> Master::admit_block() {
-  if (params_.buffer_capacity_bytes == 0) co_return;
-  const auto limit = static_cast<std::uint64_t>(
-      params_.admission_fraction *
-      static_cast<double>(params_.buffer_capacity_bytes));
-  // Always admit at least one block (even if block_size > limit), so a
-  // lone writer cannot starve; beyond that, wait for flush progress.
-  while (reserved_bytes_ > 0 &&
-         reserved_bytes_ + params_.block_size > limit) {
-    co_await admission_cv_.wait();
-  }
-  reserved_bytes_ += params_.block_size;
-}
-
 void Master::release_reservation(BbBlockInfo& block) {
   if (!block.reservation_held) return;
   block.reservation_held = false;
-  reserved_bytes_ -= std::min(reserved_bytes_, params_.block_size);
-  admission_cv_.notify_all();
+  flowctl_.release_reservation(params_.block_size);
 }
 
-void Master::finish_block(BbBlockInfo& block, BlockState state) {
+void Master::finish_block(const std::string& path, BbBlockInfo& block,
+                          BlockState state) {
   release_reservation(block);
   block.state = state;
   assert(dirty_or_flushing_ > 0);
@@ -243,8 +277,13 @@ void Master::finish_block(BbBlockInfo& block, BlockState state) {
   if (state == BlockState::kFlushed) {
     ++flushed_blocks_;
     flushed_bytes_ += block.size;
+    // Durable and still buffer-resident: the block becomes clean, evictable
+    // cache data.
+    flowctl_.dirty_to_clean(local_object(path, block.index),
+                            block_footprint(block.size));
   } else if (state == BlockState::kLost) {
     ++lost_blocks_;
+    flowctl_.drop_dirty(block_footprint(block.size));
   }
   if (dirty_or_flushing_ == 0) flush_done_.notify_all();
 }
@@ -254,8 +293,14 @@ sim::Task<void> Master::wait_all_flushed() {
 }
 
 sim::Task<void> Master::flush_worker(std::uint32_t worker_index) {
+  sim::Simulation& sim = hub_->transport().fabric().simulation();
   for (;;) {
     const FlushItem item = co_await flush_queue_.recv();
+    // Watermark-driven escalation: drain gently in the background while
+    // pressure is low, flat out once dirty bytes cross the high watermark.
+    if (const sim::SimTime pace = flowctl_.flush_pace(); pace > 0) {
+      co_await sim.delay(pace);
+    }
     std::size_t span = 0;
     if (trace_ != nullptr) {
       span = trace_->begin(
@@ -263,6 +308,34 @@ sim::Task<void> Master::flush_worker(std::uint32_t worker_index) {
           worker_index);
     }
     (void)co_await flush_block(worker_index, item);
+    if (trace_ != nullptr) trace_->end(span);
+  }
+}
+
+// Erases the chunks of blocks the flow controller evicted (clean blocks:
+// flushed to Lustre, so this only reclaims buffer memory, never loses data).
+sim::Task<void> Master::evict_worker() {
+  for (;;) {
+    const flowctl::CleanBlock victim = co_await flowctl_.evictions().recv();
+    std::size_t span = 0;
+    if (trace_ != nullptr) {
+      span = trace_->begin("flowctl.evict." + victim.id, "flowctl",
+                           static_cast<std::uint32_t>(node_));
+    }
+    // id is "<path>#<block_index>"; the footprint is chunk-padded, so the
+    // chunk count falls out of the byte count.
+    const std::size_t sep = victim.id.rfind('#');
+    if (sep != std::string::npos) {
+      const std::string path = victim.id.substr(0, sep);
+      const auto index = static_cast<std::uint32_t>(
+          std::strtoul(victim.id.c_str() + sep + 1, nullptr, 10));
+      const auto chunks =
+          static_cast<std::uint32_t>(victim.bytes / params_.chunk_size);
+      kv::Client& kv = *flusher_clients_.front();
+      for (std::uint32_t c = 0; c < chunks; ++c) {
+        (void)co_await kv.erase(chunk_key(path, index, c));
+      }
+    }
     if (trace_ != nullptr) trace_->end(span);
   }
 }
@@ -283,6 +356,7 @@ sim::Task<Status> Master::flush_block(std::uint32_t worker_index,
   BbBlockInfo* block = lookup();
   if (block == nullptr) co_return Status::ok();  // deleted while queued
   if (block->state != BlockState::kDirty) co_return Status::ok();
+  flowctl_.note_flush_begin();
   block->state = BlockState::kFlushing;
   const std::uint64_t block_size = block->size;
   const std::uint32_t block_index = block->index;
@@ -328,7 +402,7 @@ sim::Task<Status> Master::flush_block(std::uint32_t worker_index,
   if (!buffer_ok || data.size() != block_size) {
     // Acknowledged-but-unflushed data is gone: this is exactly the
     // durability window the BB-Async scheme trades for speed.
-    finish_block(*block, BlockState::kLost);
+    finish_block(item.path, *block, BlockState::kLost);
     co_return error(StatusCode::kDataLoss, "dirty block lost before flush");
   }
 
@@ -356,7 +430,7 @@ sim::Task<Status> Master::flush_block(std::uint32_t worker_index,
   }
   block = lookup();
   if (block == nullptr) co_return Status::ok();
-  finish_block(*block, BlockState::kFlushed);
+  finish_block(item.path, *block, BlockState::kFlushed);
   co_return Status::ok();
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "burstbuffer/protocol.h"
+#include "flowctl/controller.h"
 #include "kvstore/client.h"
 #include "lustre/client.h"
 #include "net/rpc.h"
@@ -25,14 +26,21 @@ struct MasterParams {
   std::uint32_t flusher_count = 4;
   sim::SimTime md_op_ns = 15 * duration::us;
   std::string lustre_prefix = "/bb";
-  // Admission control: total KV buffer memory (0 disables). New blocks are
-  // admitted only while un-flushed reservations stay under
-  // admission_fraction * capacity; otherwise AddBlock waits for flush
-  // progress. This bounds pinned (unevictable) data so a writer can never
-  // wedge the buffer with a half-written block it has no room to finish.
+  // Flow control: total KV buffer memory (0 disables the subsystem). The
+  // CapacityController gates block admission by watermarks over
+  // dirty+clean+reserved bytes, escalates the flushers under pressure, and
+  // evicts flushed (clean) blocks before ever delaying a writer — see
+  // flowctl/controller.h. `flowctl.capacity_bytes` is overridden by
+  // `buffer_capacity_bytes` at construction.
   std::uint64_t buffer_capacity_bytes = 0;
-  double admission_fraction = 0.7;
+  flowctl::FlowControlParams flowctl;
 };
+
+// Scheme-aware flow-control policy: BB-Sync never accumulates dirty bytes
+// (durability is established on the write path), so its dirty-credit gate
+// is lifted to the critical watermark and background pacing is moot.
+flowctl::FlowControlParams scheme_policy(flowctl::FlowControlParams params,
+                                         Scheme scheme) noexcept;
 
 class Master {
  public:
@@ -75,8 +83,17 @@ class Master {
   // closed). Used by benchmarks and failure experiments.
   sim::Task<void> wait_all_flushed();
 
-  // Optional span tracing of the flush pipeline ("bb" category).
-  void set_trace(sim::TraceRecorder* recorder) noexcept { trace_ = recorder; }
+  // Memory-pressure management (watermarks, eviction, writer backpressure).
+  [[nodiscard]] flowctl::CapacityController& flow_control() noexcept {
+    return flowctl_;
+  }
+
+  // Optional span tracing of the flush pipeline ("bb" category) and the
+  // flow-control subsystem ("flowctl" category).
+  void set_trace(sim::TraceRecorder* recorder) noexcept {
+    trace_ = recorder;
+    flowctl_.set_trace(recorder);
+  }
 
  private:
   struct BlockMeta {
@@ -112,9 +129,16 @@ class Master {
   sim::Task<void> flush_worker(std::uint32_t worker_index);
   sim::Task<Status> flush_block(std::uint32_t worker_index,
                                 const FlushItem& item);
-  void finish_block(BbBlockInfo& block, BlockState state);
-  sim::Task<void> admit_block();
+  sim::Task<void> evict_worker();
+  void finish_block(const std::string& path, BbBlockInfo& block,
+                    BlockState state);
   void release_reservation(BbBlockInfo& block);
+  // Buffer-resident footprint of a sealed block: chunks are padded to
+  // chunk_size, so the block occupies a whole number of chunks.
+  [[nodiscard]] std::uint64_t block_footprint(std::uint64_t size) const {
+    return (size + params_.chunk_size - 1) / params_.chunk_size *
+           params_.chunk_size;
+  }
 
   net::RpcHub* hub_;
   net::NodeId node_;
@@ -122,12 +146,11 @@ class Master {
   Scheme scheme_;
   MasterParams params_;
   lustre::LustreClient lustre_;
+  flowctl::CapacityController flowctl_;
 
   std::map<std::string, FileMeta> files_;
   sim::Channel<FlushItem> flush_queue_;
   sim::Condition flush_done_;
-  sim::Condition admission_cv_;
-  std::uint64_t reserved_bytes_ = 0;
   std::vector<std::unique_ptr<kv::Client>> flusher_clients_;
 
   sim::TraceRecorder* trace_ = nullptr;

@@ -28,6 +28,7 @@ inline constexpr net::Port kAgentRead = kAgentPortBase;
 inline constexpr std::uint64_t kHeaderBytes = 64;
 
 enum class BlockState {
+  kOpen,      // added, writer still streaming chunks; not yet sealed
   kDirty,     // buffer-resident only; flush pending
   kFlushing,  // a flusher is draining it to Lustre
   kFlushed,   // durable on Lustre (buffer copy may remain or be evicted)
@@ -78,7 +79,7 @@ struct BbBlockInfo {
   std::uint32_t index = 0;
   std::uint64_t size = 0;
   std::uint32_t crc32c = 0;
-  BlockState state = BlockState::kDirty;
+  BlockState state = BlockState::kOpen;
   std::optional<net::NodeId> local_node;
   bool reservation_held = false;  // master-internal admission bookkeeping
 };

@@ -93,6 +93,7 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   master_params.block_size = config_.block_size;
   master_params.chunk_size = config_.chunk_size;
   master_params.flusher_count = config_.flusher_count;
+  master_params.flowctl = config_.bb_flowctl;
   master_params.buffer_capacity_bytes =
       config_.kv_memory_per_server * config_.kv_servers;
   bb_master_ = std::make_unique<bb::Master>(*fast_hub_, bb_master_node_,

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "burstbuffer/filesystem.h"
+#include "flowctl/controller.h"
 #include "hdfs/client.h"
 #include "hdfs/datanode.h"
 #include "hdfs/namenode.h"
@@ -70,6 +71,9 @@ struct ClusterConfig {
 
   bb::Scheme scheme = bb::Scheme::kAsync;
   std::uint32_t flusher_count = 4;
+  // Watermarks / pacing for the burst buffer's flow-control subsystem
+  // (capacity_bytes is derived from kv_memory_per_server * kv_servers).
+  flowctl::FlowControlParams bb_flowctl;
   // Extension: promote Lustre-fallback reads back into the buffer (read
   // cache behaviour). Off by default to match the paper's base design.
   bool bb_promote_on_read = false;

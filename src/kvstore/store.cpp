@@ -55,6 +55,7 @@ class KvStore::Shard {
     link_lru_front(item);
     ++stats_.items;
     stats_.bytes += key.size() + value.size();
+    if (item->pinned) stats_.pinned_bytes += key.size() + value.size();
     return Status::ok();
   }
 
@@ -97,6 +98,15 @@ class KvStore::Shard {
     std::lock_guard<std::mutex> lock(mu_);
     Item* item = find(hash, key);
     if (item == nullptr) return error(StatusCode::kNotFound, "key not found");
+    if (item->pinned != pinned) {
+      const std::uint64_t payload =
+          std::uint64_t{item->key_len} + item->value_len;
+      if (pinned) {
+        stats_.pinned_bytes += payload;
+      } else {
+        stats_.pinned_bytes -= std::min(stats_.pinned_bytes, payload);
+      }
+    }
     item->pinned = pinned;
     return Status::ok();
   }
@@ -126,6 +136,7 @@ class KvStore::Shard {
     std::fill(lru_tails_.begin(), lru_tails_.end(), nullptr);
     stats_.items = 0;
     stats_.bytes = 0;
+    stats_.pinned_bytes = 0;
   }
 
   [[nodiscard]] StoreStats stats() const {
@@ -219,6 +230,11 @@ class KvStore::Shard {
     assert(stats_.items > 0);
     --stats_.items;
     stats_.bytes -= item->key_len + item->value_len;
+    if (item->pinned) {
+      const std::uint64_t payload =
+          std::uint64_t{item->key_len} + item->value_len;
+      stats_.pinned_bytes -= std::min(stats_.pinned_bytes, payload);
+    }
     slab_.deallocate(item->slab_class, item);
   }
 
@@ -299,6 +315,7 @@ StoreStats KvStore::stats() const {
     const StoreStats s = shard->stats();
     total.items += s.items;
     total.bytes += s.bytes;
+    total.pinned_bytes += s.pinned_bytes;
     total.hits += s.hits;
     total.misses += s.misses;
     total.evictions += s.evictions;

@@ -38,7 +38,8 @@ struct SetOptions {
 
 struct StoreStats {
   std::uint64_t items = 0;
-  std::uint64_t bytes = 0;  // key+value payload bytes
+  std::uint64_t bytes = 0;         // key+value payload bytes
+  std::uint64_t pinned_bytes = 0;  // subset of `bytes` held by pinned items
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;

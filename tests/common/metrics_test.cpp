@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -84,6 +85,58 @@ TEST(HistogramTest, HugeValues) {
   EXPECT_EQ(h.count(), 1u);
   EXPECT_GE(h.quantile(1.0), big);
   EXPECT_LE(h.quantile(1.0), big + (big >> 3));
+}
+
+TEST(HistogramTest, EmptyHistogramQuantileExtremes) {
+  Histogram h;
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(1.0), 0u);
+  // Out-of-range q is clamped, not UB.
+  EXPECT_EQ(h.quantile(-1.0), 0u);
+  EXPECT_EQ(h.quantile(2.0), 0u);
+}
+
+TEST(HistogramTest, SingleSampleAllQuantilesCoincide) {
+  Histogram h;
+  const std::uint64_t v = 123456;
+  h.record(v);
+  const std::uint64_t p0 = h.quantile(0.0);
+  EXPECT_EQ(h.quantile(0.25), p0);
+  EXPECT_EQ(h.quantile(0.5), p0);
+  EXPECT_EQ(h.quantile(1.0), p0);
+  // The bucket upper bound brackets the sample within one sub-bucket.
+  EXPECT_GE(p0, v);
+  EXPECT_LE(static_cast<double>(p0),
+            static_cast<double>(v) * (1.0 + 1.0 / Histogram::kSubBuckets));
+}
+
+TEST(HistogramTest, LogUniformSampleQuantileErrorBound) {
+  // Samples spread log-uniformly across 30 orders of magnitude (base 2):
+  // the log-linear bucketing must hold its <= 1/16 = 6.25% relative error
+  // at every quantile, not just in the middle of one decade.
+  Histogram h;
+  constexpr int kSamples = 10000;
+  std::vector<std::uint64_t> sorted;
+  sorted.reserve(kSamples);
+  for (int i = 0; i < kSamples; ++i) {
+    const double exponent =
+        10.0 + 30.0 * static_cast<double>(i) / (kSamples - 1);
+    const auto v = static_cast<std::uint64_t>(std::exp2(exponent));
+    sorted.push_back(v);  // generated ascending
+    h.record(v);
+  }
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    // Mirror the histogram's rank convention: the target-th smallest sample.
+    const auto target =
+        static_cast<std::size_t>(q * static_cast<double>(kSamples - 1));
+    const std::uint64_t exact = sorted[target];
+    const std::uint64_t estimate = h.quantile(q);
+    EXPECT_GE(estimate, exact) << "q=" << q;
+    EXPECT_LE(static_cast<double>(estimate),
+              static_cast<double>(exact) *
+                  (1.0 + 1.0 / Histogram::kSubBuckets))
+        << "q=" << q;
+  }
 }
 
 TEST(HistogramTest, ResetClearsEverything) {

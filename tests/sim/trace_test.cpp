@@ -78,6 +78,38 @@ TEST(TraceTest, ChromeJsonWellFormedish) {
   EXPECT_EQ(json.back(), '}');
 }
 
+TEST(TraceTest, ChromeJsonEscapesBackslashesAndControlChars) {
+  Simulation sim;
+  TraceRecorder trace(sim);
+  trace.record("path\\with\\backslashes", "cat", 0, 0, 1000);
+  trace.record("line\nbreak\ttab", "cat", 0, 0, 1000);
+  const std::string json = trace.to_chrome_json();
+  // Each source backslash must appear doubled in the JSON output.
+  EXPECT_NE(json.find("path\\\\with\\\\backslashes"), std::string::npos);
+  // Raw control characters are illegal inside JSON strings.
+  EXPECT_NE(json.find("line\\nbreak\\ttab"), std::string::npos);
+  EXPECT_EQ(json.find('\n', json.find("line")), std::string::npos);
+}
+
+TEST(TraceTest, UnfinishedSpanClampedToNowNotZero) {
+  // A span still open when the trace is dumped gets its duration clamped to
+  // the current simulated time — visible (nonzero) at microsecond scale.
+  Simulation sim;
+  TraceRecorder trace(sim);
+  sim.spawn([](Simulation& s, TraceRecorder& t) -> Task<void> {
+    co_await s.delay(100 * us);
+    (void)t.begin("open", "x", 0);
+    co_await s.delay(250 * us);
+  }(sim, trace));
+  sim.run();
+  ASSERT_EQ(trace.open_span_count(), 1u);
+  const std::string json = trace.to_chrome_json();
+  EXPECT_NE(json.find("\"ts\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":250"), std::string::npos);  // clamped to now
+  // Dumping must not close the span: a later end() still works.
+  EXPECT_EQ(trace.open_span_count(), 1u);
+}
+
 TEST(TraceTest, UnfinishedSpanClampedToNow) {
   Simulation sim;
   TraceRecorder trace(sim);

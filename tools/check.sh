@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Full verification: build and test the default (RelWithDebInfo) and the
+# Sanitize (ASan+UBSan) configurations.
+#
+#   tools/check.sh            # both configurations
+#   tools/check.sh --fast     # default configuration only
+#
+# Build trees: build/ and build-sanitize/ at the repo root.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+run_config() {
+  local name="$1" dir="$2" build_type="$3"
+  echo "== ${name}: configure (${build_type}) =="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE="${build_type}"
+  echo "== ${name}: build =="
+  cmake --build "${dir}" -j "${jobs}"
+  echo "== ${name}: ctest =="
+  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+}
+
+run_config "default" build RelWithDebInfo
+
+if [[ "${fast}" == 0 ]]; then
+  run_config "sanitize" build-sanitize Sanitize
+fi
+
+echo "all checks passed"
