@@ -54,6 +54,8 @@ int main() {
                "the burst buffer over RDMA vs socket transports",
                "RDMA is load-bearing: socket transports forfeit most of the "
                "read gain");
+  hpcbb::bench::JsonResult result(
+      "a1", "the burst buffer over RDMA vs socket transports");
 
   const std::vector<std::pair<const char*, hpcbb::net::TransportKind>>
       transports = {{"RDMA", hpcbb::net::TransportKind::kRdma},
@@ -66,6 +68,8 @@ int main() {
     const Point point = run_case(kind);
     std::printf("%-10s  %12.0f  %12.0f", label, point.write_mbps,
                 point.read_mbps);
+    result.add("write-mbps", label, point.write_mbps);
+    result.add("read-mbps", label, point.read_mbps);
     if (std::string(label) == "RDMA") {
       rdma_read = point.read_mbps;
       std::printf("   (baseline)");
@@ -75,5 +79,6 @@ int main() {
     }
     std::printf("\n");
   }
+  result.write();
   return 0;
 }

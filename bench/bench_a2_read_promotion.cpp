@@ -55,6 +55,8 @@ int main() {
   print_header("A2 (ablation)",
                "read promotion: repeated reads of a cold (flushed) dataset",
                "with promotion the second pass returns to buffer speed");
+  hpcbb::bench::JsonResult result(
+      "a2", "read promotion: repeated reads of a cold (flushed) dataset");
 
   constexpr int kPasses = 3;
   std::printf("\n%-16s", "mode");
@@ -63,8 +65,13 @@ int main() {
   for (const bool promote : {false, true}) {
     const std::vector<double> mbps = run_case(promote, kPasses);
     std::printf("%-16s", promote ? "promotion ON" : "promotion OFF");
-    for (const double m : mbps) std::printf("   %10.0f", m);
+    for (std::size_t p = 0; p < mbps.size(); ++p) {
+      std::printf("   %10.0f", mbps[p]);
+      result.add(promote ? "promotion-on-mbps" : "promotion-off-mbps",
+                 "pass" + std::to_string(p + 1), mbps[p]);
+    }
     std::printf("\n");
   }
+  result.write();
   return 0;
 }

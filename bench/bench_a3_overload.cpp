@@ -76,6 +76,8 @@ int main() {
                "dirty bytes stay bounded by the high watermark and writes "
                "are delayed, never rejected, as the burst exceeds the "
                "buffer by 2-4x");
+  hpcbb::bench::JsonResult result(
+      "a3", "flow control under sustained overload (BB-Async)");
 
   constexpr std::uint64_t kBufferTotal = 512 * MiB;
   const std::vector<double> overload_factors = {0.5, 1.0, 2.0, 4.0};
@@ -99,9 +101,17 @@ int main() {
         point.all_acked && point.lost_blocks == 0 ? "yes" : "NO");
     all_ok = all_ok && point.dirty_bounded() && point.all_acked &&
              point.lost_blocks == 0;
+    char x[16];
+    std::snprintf(x, sizeof x, "%.1f", factor);
+    result.add("write-mbps", x, point.write_mbps);
+    result.add("p99-stall-ns", x, static_cast<double>(point.p99_stall_ns));
+    result.add("stalls", x, static_cast<double>(point.stalls));
+    result.add("peak-dirty-bytes", x, static_cast<double>(point.peak_dirty));
+    result.add("evicted-bytes", x, static_cast<double>(point.evicted_bytes));
   }
   std::printf("\n%s: dirty bytes %s bounded by the high watermark "
               "(+1 block) and all writes acked\n",
               all_ok ? "PASS" : "FAIL", all_ok ? "stayed" : "were NOT");
+  result.write();
   return all_ok ? 0 : 1;
 }

@@ -49,6 +49,8 @@ int main() {
   using hpcbb::bench::print_header;
   print_header("F10", "weak scaling: aggregate MB/s, 64 MiB per node",
                "BB advantage holds as the cluster grows");
+  hpcbb::bench::JsonResult result(
+      "f10", "weak scaling: aggregate MB/s, 64 MiB per node");
 
   const std::vector<std::uint32_t> node_counts = {4, 8, 16};
   const std::vector<hpcbb::bench::SystemCase> systems = {
@@ -68,8 +70,13 @@ int main() {
     for (const auto& system : systems) {
       const ScalingPoint point = run_case(system, nodes, 64 * MiB);
       std::printf("  %12.0f %12.0f", point.write_mbps, point.read_mbps);
+      result.add(std::string(system.label) + "-write-mbps", nodes,
+                 point.write_mbps);
+      result.add(std::string(system.label) + "-read-mbps", nodes,
+                 point.read_mbps);
     }
     std::printf("\n");
   }
+  result.write();
   return 0;
 }

@@ -52,6 +52,8 @@ int main() {
   print_header("F11", "buffer capacity sensitivity (BB-Async, 1 GiB burst)",
                "throughput degrades gracefully toward the flush rate as the "
                "buffer shrinks below the burst size");
+  hpcbb::bench::JsonResult result(
+      "f11", "buffer capacity sensitivity (BB-Async, 1 GiB burst)");
 
   constexpr std::uint64_t kDataset = 1 * GiB;
   const std::vector<double> capacity_ratios = {0.25, 0.5, 1.0, 2.0, 4.0};
@@ -65,6 +67,13 @@ int main() {
     std::printf("%-16.2f  %10.0f  %20llu  %10llu\n", ratio, point.write_mbps,
                 static_cast<unsigned long long>(point.backpressure_retries),
                 static_cast<unsigned long long>(point.evictions));
+    char x[16];
+    std::snprintf(x, sizeof x, "%.2f", ratio);
+    result.add("write-mbps", x, point.write_mbps);
+    result.add("backpressure-retries", x,
+               static_cast<double>(point.backpressure_retries));
+    result.add("evictions", x, static_cast<double>(point.evictions));
   }
+  result.write();
   return 0;
 }

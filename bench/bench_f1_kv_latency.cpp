@@ -62,6 +62,8 @@ int main() {
   using hpcbb::bench::print_header;
   print_header("F1", "KV store op latency by transport and value size",
                "RDMA ops ~an order of magnitude faster than socket paths");
+  hpcbb::bench::JsonResult result(
+      "f1", "KV store op latency by transport and value size");
 
   const std::vector<std::pair<const char*, hpcbb::net::TransportKind>>
       transports = {{"RDMA", hpcbb::net::TransportKind::kRdma},
@@ -85,10 +87,16 @@ int main() {
       std::printf("  %11.1fus %11.1fus",
                   static_cast<double>(lat.set_ns) / 1000.0,
                   static_cast<double>(lat.get_ns) / 1000.0);
+      const std::string x = hpcbb::format_bytes(size);
+      result.add(std::string(label) + "-set-ns", x,
+                 static_cast<double>(lat.set_ns));
+      result.add(std::string(label) + "-get-ns", x,
+                 static_cast<double>(lat.get_ns));
       if (std::string(label) == "RDMA") rdma_get = static_cast<double>(lat.get_ns);
       if (std::string(label) == "IPoIB") ipoib_get = static_cast<double>(lat.get_ns);
     }
     std::printf("   %.1fx\n", hpcbb::bench::ratio(ipoib_get, rdma_get));
   }
+  result.write();
   return 0;
 }

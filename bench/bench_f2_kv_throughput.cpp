@@ -59,6 +59,8 @@ int main() {
   using hpcbb::bench::print_header;
   print_header("F2", "KV aggregate SET throughput (512 KiB values)",
                "burst absorption scales with servers; RDMA >> IPoIB");
+  hpcbb::bench::JsonResult result(
+      "f2", "KV aggregate SET throughput (512 KiB values)");
 
   const std::vector<std::uint32_t> client_counts = {1, 4, 16, 64};
   const std::vector<std::uint32_t> server_counts = {1, 2, 4, 8};
@@ -73,6 +75,7 @@ int main() {
       const double mbps = run_case(hpcbb::net::TransportKind::kRdma, c, s,
                                    kValue, 24);
       std::printf("  %6.0f", mbps);
+      result.add("rdma-c" + std::to_string(c) + "-mbps", s, mbps);
     }
     std::printf("\n");
   }
@@ -86,8 +89,10 @@ int main() {
       const double mbps = run_case(hpcbb::net::TransportKind::kIpoib, c, s,
                                    kValue, 24);
       std::printf("  %6.0f", mbps);
+      result.add("ipoib-c" + std::to_string(c) + "-mbps", s, mbps);
     }
     std::printf("\n");
   }
+  result.write();
   return 0;
 }

@@ -37,6 +37,8 @@ int main() {
   using hpcbb::bench::print_header;
   print_header("F3", "TestDFSIO write throughput (aggregate MB/s, 8 nodes)",
                "write up to 2.6x over HDFS and 1.5x over Lustre");
+  hpcbb::bench::JsonResult result(
+      "f3", "TestDFSIO write throughput (aggregate MB/s, 8 nodes)");
 
   // Scaled-down sweep: paper sweeps 20-80 GB on 128 MiB blocks; we run
   // 0.25-1 GB on 32 MiB blocks (EXPERIMENTS.md "Scaling").
@@ -55,10 +57,13 @@ int main() {
     for (const auto& system : hpcbb::bench::all_systems()) {
       mbps[system.label] = run_case(system, kFiles, file_size);
       std::printf("  %9.0f", mbps[system.label]);
+      result.add(std::string(system.label) + "-mbps",
+                 hpcbb::format_bytes(kFiles * file_size), mbps[system.label]);
     }
     std::printf("   %13.2fx  %14.2fx\n",
                 hpcbb::bench::ratio(mbps["BB-Async"], mbps["HDFS"]),
                 hpcbb::bench::ratio(mbps["BB-Async"], mbps["Lustre"]));
   }
+  result.write();
   return 0;
 }

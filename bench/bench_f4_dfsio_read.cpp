@@ -39,6 +39,8 @@ int main() {
   using hpcbb::bench::print_header;
   print_header("F4", "TestDFSIO read throughput (aggregate MB/s, 8 nodes)",
                "read gains up to 8x (buffer-resident data at RDMA speed)");
+  hpcbb::bench::JsonResult result(
+      "f4", "TestDFSIO read throughput (aggregate MB/s, 8 nodes)");
 
   const std::vector<std::uint64_t> file_sizes = {32 * MiB, 64 * MiB, 128 * MiB};
   constexpr std::uint32_t kFiles = 8;
@@ -55,10 +57,13 @@ int main() {
     for (const auto& system : hpcbb::bench::all_systems()) {
       mbps[system.label] = run_case(system, kFiles, file_size);
       std::printf("  %9.0f", mbps[system.label]);
+      result.add(std::string(system.label) + "-mbps",
+                 hpcbb::format_bytes(kFiles * file_size), mbps[system.label]);
     }
     std::printf("   %13.2fx  %14.2fx\n",
                 hpcbb::bench::ratio(mbps["BB-Async"], mbps["HDFS"]),
                 hpcbb::bench::ratio(mbps["BB-Async"], mbps["Lustre"]));
   }
+  result.write();
   return 0;
 }

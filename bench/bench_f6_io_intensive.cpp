@@ -52,6 +52,8 @@ int main() {
   using hpcbb::bench::print_header;
   print_header("F6", "I/O-intensive workloads: RandomWriter + Grep (8 nodes)",
                "significant benefit for I/O-intensive workloads");
+  hpcbb::bench::JsonResult result(
+      "f6", "I/O-intensive workloads: RandomWriter + Grep (8 nodes)");
 
   constexpr std::uint64_t kRecordsPerFile = 640000;  // ~64 MB per node
   std::printf("\ndataset: 8 x %s of 100-byte records\n",
@@ -64,6 +66,9 @@ int main() {
     std::printf("%-10s  %13.2fs  %13.2fs", system.label,
                 hpcbb::ns_to_sec(outcome.random_writer),
                 hpcbb::ns_to_sec(outcome.grep));
+    result.add("random-writer-s", system.label,
+               hpcbb::ns_to_sec(outcome.random_writer));
+    result.add("grep-s", system.label, hpcbb::ns_to_sec(outcome.grep));
     if (std::string(system.label) == "HDFS") {
       hdfs_rw = hpcbb::ns_to_sec(outcome.random_writer);
       hdfs_grep = hpcbb::ns_to_sec(outcome.grep);
@@ -77,5 +82,6 @@ int main() {
     }
     std::printf("\n");
   }
+  result.write();
   return 0;
 }

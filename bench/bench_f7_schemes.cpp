@@ -64,6 +64,8 @@ int main() {
   print_header("F7",
                "scheme ablation: I/O vs data-locality vs fault-tolerance",
                "three schemes trade write latency, locality, durability");
+  hpcbb::bench::JsonResult result(
+      "f7", "scheme ablation: I/O vs data-locality vs fault-tolerance");
 
   std::printf("\n%-10s  %12s  %18s  %14s  %12s\n", "scheme",
               "write(512MiB)", "durability window", "map locality",
@@ -71,15 +73,22 @@ int main() {
   for (const bb::Scheme scheme :
        {bb::Scheme::kAsync, bb::Scheme::kSync, bb::Scheme::kLocal}) {
     const SchemeOutcome outcome = run_scheme(scheme);
-    std::printf("%-10s  %11.2fs  %17.2fs  %13.0f%%  %12s\n",
-                std::string(to_string(scheme)).c_str(),
+    const std::string label(to_string(scheme));
+    std::printf("%-10s  %11.2fs  %17.2fs  %13.0f%%  %12s\n", label.c_str(),
                 hpcbb::ns_to_sec(outcome.write_ack),
                 hpcbb::ns_to_sec(outcome.durability_window),
                 100.0 * outcome.locality,
                 hpcbb::format_bytes(outcome.local_bytes).c_str());
+    result.add("write-ack-s", label, hpcbb::ns_to_sec(outcome.write_ack));
+    result.add("durability-window-s", label,
+               hpcbb::ns_to_sec(outcome.durability_window));
+    result.add("map-locality", label, outcome.locality);
+    result.add("local-bytes", label,
+               static_cast<double>(outcome.local_bytes));
   }
   std::printf("\nexpected shape: Async fastest ack but longest window; Sync "
               "zero window,\nslowest ack; Local adds locality and a RAM-disk "
               "copy for modest local storage.\n");
+  result.write();
   return 0;
 }

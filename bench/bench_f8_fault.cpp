@@ -105,18 +105,27 @@ int main() {
                "the write burst ack",
                "Sync loses nothing; Local recovers from RAM-disk replicas; "
                "Async has a durability window");
+  hpcbb::bench::JsonResult result(
+      "f8", "fault tolerance: buffer-server crash after write-burst ack");
 
   std::printf("\n%-10s  %6s  %9s  %13s  %16s\n", "scheme", "lost",
               "recovered", "re-replicated", "files readable");
   for (const bb::Scheme scheme :
        {bb::Scheme::kAsync, bb::Scheme::kSync, bb::Scheme::kLocal}) {
     const FaultOutcome outcome = run_scheme(scheme);
-    std::printf("%-10s  %6llu  %9llu  %13s  %14u/%u\n",
-                std::string(to_string(scheme)).c_str(),
+    const std::string label(to_string(scheme));
+    std::printf("%-10s  %6llu  %9llu  %13s  %14u/%u\n", label.c_str(),
                 static_cast<unsigned long long>(outcome.blocks_lost),
                 static_cast<unsigned long long>(outcome.blocks_recovered),
                 "-", outcome.files_fully_readable, outcome.files_total);
+    result.add("blocks-lost", label,
+               static_cast<double>(outcome.blocks_lost));
+    result.add("blocks-recovered", label,
+               static_cast<double>(outcome.blocks_recovered));
+    result.add("files-readable", label,
+               static_cast<double>(outcome.files_fully_readable));
   }
   hdfs_comparison();
+  result.write();
   return 0;
 }

@@ -56,6 +56,8 @@ int main() {
   using hpcbb::bench::print_header;
   print_header("F9", "node-local storage consumed by a 512 MiB DFSIO write",
                "reduced local storage requirement vs HDFS's 3x replication");
+  hpcbb::bench::JsonResult result(
+      "f9", "node-local storage consumed by a 512 MiB DFSIO write");
 
   constexpr std::uint64_t kFileSize = 64 * MiB;  // 8 files => 512 MiB dataset
   std::printf("\n%-10s  %14s  %14s  %12s  %14s\n", "system", "local (total)",
@@ -67,8 +69,17 @@ int main() {
                 hpcbb::format_bytes(outcome.max_node_local).c_str(),
                 hpcbb::format_bytes(outcome.lustre_bytes).c_str(),
                 hpcbb::format_bytes(outcome.buffer_bytes).c_str());
+    result.add("local-total-bytes", system.label,
+               static_cast<double>(outcome.total_local));
+    result.add("local-max-node-bytes", system.label,
+               static_cast<double>(outcome.max_node_local));
+    result.add("lustre-bytes", system.label,
+               static_cast<double>(outcome.lustre_bytes));
+    result.add("buffer-bytes", system.label,
+               static_cast<double>(outcome.buffer_bytes));
   }
   std::printf("\nexpected: HDFS 1.5 GiB local (3x replicas); BB-Async/Sync "
               "zero local;\nBB-Local 512 MiB (one RAM-disk replica).\n");
+  result.write();
   return 0;
 }

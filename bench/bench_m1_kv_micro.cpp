@@ -5,6 +5,7 @@
 // simulated time).
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -101,4 +102,32 @@ BENCHMARK(BM_PatternBytes)->Arg(4096)->Arg(1 << 20);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like the simulated-time benches (bench_util.h JsonResult), emit a
+// machine-readable JSON result file by default — google-benchmark already
+// speaks JSON, so default its --benchmark_out flags instead. An explicit
+// --benchmark_out on the command line wins; $HPCBB_BENCH_OUT relocates the
+// default file.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).starts_with("--benchmark_out")) has_out = true;
+  }
+  std::string out_flag, format_flag;
+  if (!has_out) {
+    std::string path = "m1_result.json";
+    if (const char* dir = std::getenv("HPCBB_BENCH_OUT")) {
+      path = std::string(dir) + "/" + path;
+    }
+    out_flag = "--benchmark_out=" + path;
+    format_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int argc2 = static_cast<int>(args.size());
+  benchmark::Initialize(&argc2, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

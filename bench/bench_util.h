@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -56,5 +58,70 @@ inline void print_header(const char* figure, const char* title,
 }
 
 inline double ratio(double a, double b) { return b == 0 ? 0.0 : a / b; }
+
+// Machine-readable benchmark results. Every data point the bench prints is
+// also recorded here; write() emits one JSON document per binary (schema
+// hpcbb.bench.v1) so plots and regression diffs never have to scrape
+// stdout. Output lands in "<id>_result.json" in the working directory, or
+// under $HPCBB_BENCH_OUT if that directory variable is set.
+class JsonResult {
+ public:
+  JsonResult(std::string id, std::string title)
+      : id_(std::move(id)), title_(std::move(title)) {}
+
+  // One data point: `series` names the curve (e.g. "RDMA-set"), `x` the
+  // position along it (value size, node count, scheme name, ...).
+  void add(const std::string& series, const std::string& x, double value) {
+    points_.push_back(Point{series, x, value});
+  }
+  void add(const std::string& series, std::uint64_t x, double value) {
+    add(series, std::to_string(x), value);
+  }
+
+  // Returns the path written, or an empty string on I/O failure.
+  std::string write() const {
+    std::string path = id_ + "_result.json";
+    if (const char* dir = std::getenv("HPCBB_BENCH_OUT")) {
+      path = std::string(dir) + "/" + path;
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return {};
+    out << "{\n  \"schema\": \"hpcbb.bench.v1\",\n  \"bench\": \""
+        << escape(id_) << "\",\n  \"title\": \"" << escape(title_)
+        << "\",\n  \"points\": [";
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      if (i > 0) out << ",";
+      char value[32];
+      std::snprintf(value, sizeof value, "%.6g", points_[i].value);
+      out << "\n    {\"series\": \"" << escape(points_[i].series)
+          << "\", \"x\": \"" << escape(points_[i].x) << "\", \"value\": "
+          << value << "}";
+    }
+    out << "\n  ]\n}\n";
+    if (!out.flush()) return {};
+    std::printf("results: %zu points written to %s\n", points_.size(),
+                path.c_str());
+    return path;
+  }
+
+ private:
+  struct Point {
+    std::string series, x;
+    double value = 0;
+  };
+
+  static std::string escape(const std::string& in) {
+    std::string out;
+    for (const char c : in) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string id_;
+  std::string title_;
+  std::vector<Point> points_;
+};
 
 }  // namespace hpcbb::bench

@@ -5,10 +5,14 @@
 //   ./experiment_runner example.conf
 //   ./experiment_runner fs=bb bb.scheme=local files=8 file.size=64m
 //   ./experiment_runner fs=lustre trace.out=/tmp/flush_trace.json
+//   ./experiment_runner fs=bb metrics.out=r.json timeline.out=t.csv
+//       stats.interval=100ms  (keys continue the same command line)
 //
 // Keys: fs={hdfs,lustre,bb}, bb.scheme={async,sync,local}, files,
 // file.size, cluster.nodes, kv.servers, kv.memory, block.size,
-// bb.promote={0,1}, trace.out=<path>.
+// bb.promote={0,1}, trace.out=<path>, metrics.out=<path> (JSON report,
+// schema hpcbb.report.v1), timeline.out=<path> (CSV time series),
+// stats.interval=<duration> (sampling period, e.g. 100ms; default 100ms).
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -19,6 +23,8 @@
 #include "common/strings.h"
 #include "common/units.h"
 #include "mapred/workloads.h"
+#include "obs/report.h"
+#include "obs/sampler.h"
 #include "sim/sync.h"
 #include "sim/trace.h"
 
@@ -92,6 +98,26 @@ int main(int argc, char** argv) {
   Cluster cluster(config);
   sim::TraceRecorder trace(cluster.sim());
   cluster.bb_master().set_trace(&trace);
+  // Simulation-wide trace hook: every instrumented layer (hdfs, kv, lustre,
+  // bb, mapred) emits causally-linked spans into the same recorder.
+  cluster.sim().set_trace(&trace);
+
+  // Time-series sampler: snapshots the hot counters/gauges every
+  // stats.interval of simulated time.
+  obs::TimeSeriesSampler sampler(
+      cluster.sim(),
+      props.get_duration_ns_or("stats.interval", 100 * duration::ms));
+  for (const char* counter :
+       {"net.tx_bytes", "net.rpc.calls", "kv.hits", "kv.misses",
+        "kv.put_bytes", "kv.evictions", "lustre.write_bytes",
+        "lustre.read_bytes", "hdfs.dn.write_bytes", "flowctl.stalls"}) {
+    sampler.watch_counter(counter);
+  }
+  for (const char* gauge :
+       {"kv.bytes", "bb.dirty_bytes", "bb.clean_bytes",
+        "bb.flush_queue_depth", "lustre.queue_depth"}) {
+    sampler.watch_gauge(gauge);
+  }
 
   std::printf("experiment: fs=%s scheme=%s nodes=%u kv=%u x %s, "
               "workload %u x %s\n",
@@ -105,12 +131,15 @@ int main(int argc, char** argv) {
     mapred::DfsioResult write, read;
     sim::SimTime flush_drain = 0;
   } results;
+  sampler.start();
   cluster.sim().spawn([](Cluster& c, FsKind k, mapred::DfsioParams p,
-                         Results& out) -> Task<void> {
+                         Results& out,
+                         obs::TimeSeriesSampler& sam) -> Task<void> {
     auto w = co_await mapred::dfsio_write(c.filesystem(k), c.hub_for(k),
                                           c.compute_nodes(), p);
     if (!w.is_ok()) {
       std::printf("write failed: %s\n", w.status().to_string().c_str());
+      sam.stop();
       co_return;
     }
     out.write = w.value();
@@ -121,10 +150,14 @@ int main(int argc, char** argv) {
                                          c.compute_nodes(), p);
     if (!r.is_ok()) {
       std::printf("read failed: %s\n", r.status().to_string().c_str());
+      sam.stop();
       co_return;
     }
     out.read = r.value();
-  }(cluster, kind, workload, results));
+    // Workload done: final sample at quiescence; the sampler's pending tick
+    // exits and the event queue can drain.
+    sam.stop();
+  }(cluster, kind, workload, results, sampler));
   cluster.sim().run();
 
   std::printf("write: %7.0f MB/s aggregate (%.0f MB/s mean per task)\n",
@@ -159,10 +192,31 @@ int main(int argc, char** argv) {
   if (const auto out_path = props.get("trace.out")) {
     std::ofstream out(*out_path);
     out << trace.to_chrome_json();
-    std::printf("flush-pipeline trace (%zu spans) written to %s — open in "
+    std::printf("trace (%zu spans) written to %s — open in "
                 "chrome://tracing or Perfetto\n",
                 trace.spans().size(), out_path->c_str());
     std::printf("%s", trace.summary().c_str());
+  }
+  if (const auto out_path = props.get("metrics.out")) {
+    const std::string report = obs::report_json(cluster.sim(), &sampler);
+    if (obs::write_text_file(*out_path, report)) {
+      std::printf("metrics report (%s) written to %s\n", obs::kReportSchema,
+                  out_path->c_str());
+    } else {
+      std::fprintf(stderr, "cannot write metrics report: %s\n",
+                   out_path->c_str());
+      return 1;
+    }
+  }
+  if (const auto out_path = props.get("timeline.out")) {
+    if (obs::write_text_file(*out_path, sampler.to_csv())) {
+      std::printf("timeline (%zu samples x %zu series) written to %s\n",
+                  sampler.timeline().size(), sampler.series_names().size(),
+                  out_path->c_str());
+    } else {
+      std::fprintf(stderr, "cannot write timeline: %s\n", out_path->c_str());
+      return 1;
+    }
   }
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include "common/crc32c.h"
 #include "sim/sync.h"
+#include "sim/trace.h"
 
 namespace hpcbb::bb {
 
@@ -85,6 +86,15 @@ class BbWriter final : public fs::Writer {
     block_crc_ = 0;
     next_chunk_ = 0;
     block_open_ = true;
+    // One causal op per block: chunk stores, the master's bookkeeping, the
+    // flusher, and the Lustre writes all share this id.
+    sim::Simulation& sim = bbfs_->hub_->transport().fabric().simulation();
+    op_id_ = sim.next_op_id();
+    if (sim.trace() != nullptr) {
+      block_span_ = sim.trace()->begin(
+          "write." + path_ + "#" + std::to_string(block_index_), "bb",
+          client_, op_id_);
+    }
     co_return Status::ok();
   }
 
@@ -128,7 +138,7 @@ class BbWriter final : public fs::Writer {
     const sim::SimTime store_start = simref.now();
     bool backed_off = false;
     for (std::uint32_t attempt = 0; attempt < p.store_retry_limit; ++attempt) {
-      st = co_await kv_.set(key, stored, pin);
+      st = co_await kv_.set(key, stored, pin, /*expiry_ns=*/0, op_id_);
       if (st.code() != StatusCode::kResourceExhausted) break;
       backed_off = true;
       simref.metrics().counter("bb.store.backpressure_retries").add();
@@ -172,7 +182,7 @@ class BbWriter final : public fs::Writer {
         static_cast<std::uint64_t>(block_index_) * bbfs_->params_.block_size +
         chunk_offset;
     co_return co_await lustre_.write(client_, *lustre_layout_, file_offset,
-                                     std::move(payload));
+                                     std::move(payload), op_id_);
   }
 
   sim::Task<Status> finish_block() {
@@ -187,12 +197,15 @@ class BbWriter final : public fs::Writer {
     req->size = block_bytes_;
     req->crc32c = block_crc_;
     req->already_durable = bbfs_->params_.scheme == Scheme::kSync;
+    req->op_id = op_id_;
     if (agent_ != nullptr && local_replica_ok_) {
       req->local_node = client_;
     }
     total_bytes_ += block_bytes_;
     block_open_ = false;
     local_replica_ok_ = true;
+    sim::Simulation& sim = bbfs_->hub_->transport().fabric().simulation();
+    if (sim.trace() != nullptr) sim.trace()->end(block_span_);
     co_return (co_await bbfs_->hub_->call<void>(
                    client_, bbfs_->master_node_, kBbCompleteBlock,
                    std::shared_ptr<const BbCompleteBlockRequest>(
@@ -211,6 +224,8 @@ class BbWriter final : public fs::Writer {
   bool block_open_ = false;
   bool local_replica_ok_ = true;
   std::uint32_t block_index_ = 0;
+  std::uint64_t op_id_ = 0;
+  std::size_t block_span_ = 0;
   std::uint32_t next_chunk_ = 0;
   std::uint64_t block_bytes_ = 0;
   std::uint64_t total_bytes_ = 0;
@@ -243,13 +258,16 @@ class BbReader final : public fs::Reader {
     out.reserve(length);
     std::uint64_t cursor = offset;
     const std::uint64_t end = offset + length;
+    sim::Simulation& sim = bbfs_->hub_->transport().fabric().simulation();
+    const std::uint64_t op_id = sim.next_op_id();
+    sim::ScopedSpan span(sim.trace(), "read." + path_, "bb", client_, op_id);
     while (cursor < end) {
       const std::uint64_t block_index = cursor / meta_.block_size;
       const std::uint64_t in_off = cursor % meta_.block_size;
       const BbBlockInfo& block =
           meta_.blocks[static_cast<std::size_t>(block_index)];
       const std::uint64_t take = std::min(end - cursor, block.size - in_off);
-      Result<Bytes> piece = co_await read_block(block, in_off, take);
+      Result<Bytes> piece = co_await read_block(block, in_off, take, op_id);
       if (!piece.is_ok()) co_return piece.status();
       out.insert(out.end(), piece.value().begin(), piece.value().end());
       cursor += take;
@@ -264,7 +282,8 @@ class BbReader final : public fs::Reader {
   // the burst buffer (RDMA), then Lustre (after flush/eviction).
   sim::Task<Result<Bytes>> read_block(const BbBlockInfo& block,
                                       std::uint64_t offset,
-                                      std::uint64_t length) {
+                                      std::uint64_t length,
+                                      std::uint64_t op_id) {
     // 1. Node-local replica (BB-Local).
     if (block.local_node.has_value()) {
       auto req = std::make_shared<const AgentReadRequest>(AgentReadRequest{
@@ -281,7 +300,8 @@ class BbReader final : public fs::Reader {
     }
 
     // 2. Burst buffer: fetch the covering chunks in parallel.
-    Result<Bytes> buffered = co_await read_from_buffer(block, offset, length);
+    Result<Bytes> buffered =
+        co_await read_from_buffer(block, offset, length, op_id);
     if (buffered.is_ok()) co_return std::move(buffered).value();
     if (buffered.code() == StatusCode::kDataLoss) co_return buffered.status();
 
@@ -301,7 +321,7 @@ class BbReader final : public fs::Reader {
       const std::uint64_t file_offset =
           static_cast<std::uint64_t>(block.index) * meta_.block_size + offset;
       Result<Bytes> data = co_await lustre_.read(client_, layout.value(),
-                                                 file_offset, length);
+                                                 file_offset, length, op_id);
       if (!data.is_ok()) co_return data.status();
       // The buffer copy was evicted (or never promoted): served from Lustre.
       bbfs_->hub_->transport()
@@ -326,7 +346,8 @@ class BbReader final : public fs::Reader {
 
   sim::Task<Result<Bytes>> read_from_buffer(const BbBlockInfo& block,
                                             std::uint64_t offset,
-                                            std::uint64_t length) {
+                                            std::uint64_t length,
+                                            std::uint64_t op_id) {
     const std::uint64_t chunk_size = bbfs_->params_.chunk_size;
     const std::uint32_t first =
         static_cast<std::uint32_t>(offset / chunk_size);
@@ -335,7 +356,7 @@ class BbReader final : public fs::Reader {
 
     std::vector<sim::Task<Result<BytesPtr>>> gets;
     for (std::uint32_t c = first; c <= last; ++c) {
-      gets.push_back(kv_.get(chunk_key(path_, block.index, c)));
+      gets.push_back(kv_.get(chunk_key(path_, block.index, c), op_id));
     }
     std::vector<Result<BytesPtr>> pieces = co_await sim::parallel_collect(
         bbfs_->hub_->transport().fabric().simulation(), std::move(gets));

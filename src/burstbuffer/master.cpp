@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstdlib>
 
+#include "common/metrics.h"
+
 namespace hpcbb::bb {
 
 flowctl::FlowControlParams scheme_policy(flowctl::FlowControlParams params,
@@ -159,8 +161,9 @@ sim::Task<net::RpcResponse> Master::handle_complete_block(
   } else {
     flowctl_.reservation_to_dirty(reserved, block_footprint(req->size));
     block.state = BlockState::kDirty;
+    block.op_id = req->op_id;
     ++dirty_or_flushing_;
-    flush_queue_.push(FlushItem{req->path, req->block_index});
+    enqueue_flush(FlushItem{req->path, req->block_index, req->op_id});
   }
   co_return net::RpcResponse{Status::ok(), nullptr, kHeaderBytes};
 }
@@ -262,6 +265,17 @@ sim::Task<net::RpcResponse> Master::handle_list(
   co_return net::rpc_ok<BbListReply>(std::move(reply), wire);
 }
 
+void Master::enqueue_flush(FlushItem item) {
+  ++flush_queue_depth_;
+  hub_->transport()
+      .fabric()
+      .simulation()
+      .metrics()
+      .gauge("bb.flush_queue_depth")
+      .add();
+  flush_queue_.push(std::move(item));
+}
+
 void Master::release_reservation(BbBlockInfo& block) {
   if (!block.reservation_held) return;
   block.reservation_held = false;
@@ -296,6 +310,9 @@ sim::Task<void> Master::flush_worker(std::uint32_t worker_index) {
   sim::Simulation& sim = hub_->transport().fabric().simulation();
   for (;;) {
     const FlushItem item = co_await flush_queue_.recv();
+    assert(flush_queue_depth_ > 0);
+    --flush_queue_depth_;
+    sim.metrics().gauge("bb.flush_queue_depth").sub();
     // Watermark-driven escalation: drain gently in the background while
     // pressure is low, flat out once dirty bytes cross the high watermark.
     if (const sim::SimTime pace = flowctl_.flush_pace(); pace > 0) {
@@ -305,9 +322,11 @@ sim::Task<void> Master::flush_worker(std::uint32_t worker_index) {
     if (trace_ != nullptr) {
       span = trace_->begin(
           "flush.block_" + std::to_string(item.block_index), "bb",
-          worker_index);
+          worker_index, item.op_id);
     }
+    const sim::SimTime start = sim.now();
     (void)co_await flush_block(worker_index, item);
+    sim.metrics().histogram("bb.flush_ns").record(sim.now() - start);
     if (trace_ != nullptr) trace_->end(span);
   }
 }
@@ -373,7 +392,7 @@ sim::Task<Status> Master::flush_block(std::uint32_t worker_index,
   bool buffer_ok = true;
   for (std::uint32_t c = 0; c < chunks && buffer_ok; ++c) {
     Result<BytesPtr> piece =
-        co_await kv.get(chunk_key(item.path, block_index, c));
+        co_await kv.get(chunk_key(item.path, block_index, c), item.op_id);
     if (!piece.is_ok()) {
       buffer_ok = false;
       break;
@@ -410,13 +429,13 @@ sim::Task<Status> Master::flush_block(std::uint32_t worker_index,
   Status st = co_await lustre_.write(
       self, layout,
       static_cast<std::uint64_t>(block_index) * params_.block_size,
-      make_bytes(std::move(data)));
+      make_bytes(std::move(data)), item.op_id);
   block = lookup();
   if (block == nullptr) co_return Status::ok();
   if (!st.is_ok()) {
     // Lustre hiccup: requeue and retry later rather than dropping data.
     block->state = BlockState::kDirty;
-    flush_queue_.push(item);
+    enqueue_flush(item);
     co_return st;
   }
   (void)co_await lustre_.set_size(

@@ -78,6 +78,9 @@ class Master {
   [[nodiscard]] std::uint64_t recovered_blocks() const noexcept {
     return recovered_blocks_;
   }
+  [[nodiscard]] std::uint64_t flush_queue_depth() const noexcept {
+    return flush_queue_depth_;
+  }
 
   // Blocks until no block is dirty or mid-flush (the durability window has
   // closed). Used by benchmarks and failure experiments.
@@ -109,6 +112,7 @@ class Master {
   struct FlushItem {
     std::string path;
     std::uint32_t block_index = 0;
+    std::uint64_t op_id = 0;  // causal trace id from the writer
   };
 
   sim::Task<net::RpcResponse> handle_create(
@@ -153,7 +157,12 @@ class Master {
   sim::Condition flush_done_;
   std::vector<std::unique_ptr<kv::Client>> flusher_clients_;
 
+  // Enqueue/dequeue wrapper keeping the depth counter and the
+  // `bb.flush_queue_depth` gauge in lock-step with flush_queue_.
+  void enqueue_flush(FlushItem item);
+
   sim::TraceRecorder* trace_ = nullptr;
+  std::uint64_t flush_queue_depth_ = 0;
   std::uint64_t dirty_or_flushing_ = 0;
   std::uint64_t flushed_blocks_ = 0;
   std::uint64_t flushed_bytes_ = 0;

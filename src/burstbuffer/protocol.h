@@ -62,6 +62,7 @@ struct BbCompleteBlockRequest {
   std::uint32_t crc32c = 0;
   bool already_durable = false;           // BB-Sync wrote through to Lustre
   std::optional<net::NodeId> local_node;  // BB-Local replica location
+  std::uint64_t op_id = 0;  // causal trace id: writer -> master -> flusher
   [[nodiscard]] std::uint64_t wire_size() const {
     return kHeaderBytes + path.size();
   }
@@ -82,6 +83,7 @@ struct BbBlockInfo {
   BlockState state = BlockState::kOpen;
   std::optional<net::NodeId> local_node;
   bool reservation_held = false;  // master-internal admission bookkeeping
+  std::uint64_t op_id = 0;        // causal trace id of the writing op
 };
 
 struct BbLocationsRequest {

@@ -69,6 +69,37 @@ std::uint64_t Histogram::quantile(double q) const noexcept {
   return max();
 }
 
+HistogramSnapshot Histogram::snapshot() const noexcept {
+  HistogramSnapshot snap;
+  snap.count = count();
+  snap.sum = sum();
+  snap.min = min();
+  snap.max = max();
+  snap.mean = mean();
+  snap.p50 = quantile(0.50);
+  snap.p95 = quantile(0.95);
+  snap.p99 = quantile(0.99);
+  return snap;
+}
+
+std::string labeled(std::string_view name, std::string_view label,
+                    std::uint64_t id) {
+  std::string key;
+  key.reserve(name.size() + label.size() + 24);
+  key.append(name);
+  key += '{';
+  key.append(label);
+  key += '=';
+  key += std::to_string(id);
+  key += '}';
+  return key;
+}
+
+std::string_view base_name(std::string_view key) noexcept {
+  const std::size_t brace = key.find('{');
+  return brace == std::string_view::npos ? key : key.substr(0, brace);
+}
+
 void Histogram::reset() noexcept {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
@@ -80,6 +111,13 @@ Counter& MetricRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
@@ -96,6 +134,12 @@ std::uint64_t MetricRegistry::counter_value(const std::string& name) const {
   return it == counters_.end() ? 0 : it->second->get();
 }
 
+std::uint64_t MetricRegistry::gauge_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->get();
+}
+
 std::map<std::string, std::uint64_t> MetricRegistry::counters() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::map<std::string, std::uint64_t> out;
@@ -103,9 +147,26 @@ std::map<std::string, std::uint64_t> MetricRegistry::counters() const {
   return out;
 }
 
+std::map<std::string, GaugeSnapshot> MetricRegistry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, GaugeSnapshot> out;
+  for (const auto& [name, gauge] : gauges_)
+    out[name] = GaugeSnapshot{gauge->get(), gauge->high_watermark()};
+  return out;
+}
+
+std::map<std::string, HistogramSnapshot> MetricRegistry::histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, histogram] : histograms_)
+    out[name] = histogram->snapshot();
+  return out;
+}
+
 void MetricRegistry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
   for (auto& [name, histogram] : histograms_) histogram->reset();
 }
 

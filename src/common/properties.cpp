@@ -89,6 +89,14 @@ double Properties::get_double_or(const std::string& key,
   }
 }
 
+std::uint64_t Properties::get_duration_ns_or(const std::string& key,
+                                             std::uint64_t fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  const auto parsed = parse_duration_ns(*v);
+  return parsed ? *parsed : fallback;
+}
+
 bool Properties::get_bool_or(const std::string& key, bool fallback) const {
   const auto v = get(key);
   if (!v) return fallback;

@@ -31,6 +31,9 @@ class Properties {
                                          std::uint64_t fallback) const;
   [[nodiscard]] double get_double_or(const std::string& key,
                                      double fallback) const;
+  // Accepts duration suffixes ns/us/ms/s: "100ms" -> 100'000'000 ns.
+  [[nodiscard]] std::uint64_t get_duration_ns_or(const std::string& key,
+                                                 std::uint64_t fallback) const;
   [[nodiscard]] bool get_bool_or(const std::string& key, bool fallback) const;
 
   [[nodiscard]] bool contains(const std::string& key) const;

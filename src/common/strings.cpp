@@ -1,6 +1,7 @@
 #include "common/strings.h"
 
 #include <array>
+#include <charconv>
 #include <cstdio>
 
 namespace hpcbb {
@@ -56,6 +57,35 @@ std::string format_bytes(std::uint64_t bytes) {
 std::string format_duration_ns(std::uint64_t t_ns) {
   static const char* const kUnits[] = {"ns", "us", "ms", "s"};
   return format_scaled(static_cast<double>(t_ns), kUnits, 4, 1000.0);
+}
+
+std::optional<std::uint64_t> parse_duration_ns(std::string_view s) {
+  s = trim(s);
+  double scale = 1.0;
+  const auto ends_with = [&s](std::string_view suffix) {
+    return s.size() >= suffix.size() &&
+           s.substr(s.size() - suffix.size()) == suffix;
+  };
+  if (ends_with("ns")) {
+    s.remove_suffix(2);
+  } else if (ends_with("us")) {
+    scale = 1e3;
+    s.remove_suffix(2);
+  } else if (ends_with("ms")) {
+    scale = 1e6;
+    s.remove_suffix(2);
+  } else if (ends_with("s")) {
+    scale = 1e9;
+    s.remove_suffix(1);
+  }
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size() || value < 0.0) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(value * scale + 0.5);
 }
 
 }  // namespace hpcbb

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -27,5 +28,10 @@ constexpr std::uint64_t fnv1a(std::string_view s) noexcept {
 // "1.50 GB/s"-style human formatting for reports.
 std::string format_bytes(std::uint64_t bytes);
 std::string format_duration_ns(std::uint64_t t_ns);
+
+// Inverse of format_duration_ns for config values: "100ms", "5us", "2s",
+// "250ns", or a plain number (nanoseconds). Fractions ("1.5ms") are fine.
+// Returns nullopt on malformed or negative input.
+std::optional<std::uint64_t> parse_duration_ns(std::string_view s);
 
 }  // namespace hpcbb

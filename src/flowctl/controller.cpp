@@ -83,6 +83,7 @@ sim::Task<sim::SimTime> CapacityController::admit(std::uint64_t bytes) {
   reserved_ += bytes;
   peak_dirty_ = std::max(peak_dirty_, reserved_ + dirty_);
   peak_usage_ = std::max(peak_usage_, usage_bytes());
+  publish_gauges();
   const sim::SimTime waited = sim_->now() - start;
   if (stalled) {
     if (trace_ != nullptr) trace_->end(span);
@@ -104,6 +105,7 @@ void CapacityController::reservation_to_dirty(std::uint64_t reserved_bytes,
   dirty_ += footprint_bytes;
   peak_dirty_ = std::max(peak_dirty_, reserved_ + dirty_);
   peak_usage_ = std::max(peak_usage_, usage_bytes());
+  publish_gauges();
   // Dirty may be smaller than the reservation (short tail block): freed
   // headroom can admit a stalled writer.
   if (footprint_bytes < reserved_bytes) note_usage_changed();
@@ -175,7 +177,18 @@ void CapacityController::evict_lru_block() {
   note_usage_changed();
 }
 
-void CapacityController::note_usage_changed() { drained_.notify_all(); }
+void CapacityController::note_usage_changed() {
+  publish_gauges();
+  drained_.notify_all();
+}
+
+void CapacityController::publish_gauges() {
+  if (!enabled()) return;
+  auto& metrics = sim_->metrics();
+  metrics.gauge("bb.dirty_bytes").set(dirty_);
+  metrics.gauge("bb.clean_bytes").set(clean_);
+  metrics.gauge("bb.reserved_bytes").set(reserved_);
+}
 
 sim::SimTime CapacityController::flush_pace() const noexcept {
   if (!enabled()) return 0;

@@ -194,6 +194,10 @@ class CapacityController {
   void reclaim(std::uint64_t incoming);
   void evict_lru_block();
   void note_usage_changed();
+  // Mirror the internal byte accounting into registry gauges
+  // (bb.dirty_bytes / bb.clean_bytes / bb.reserved_bytes) so samplers and
+  // reports see buffer pressure without reaching into the controller.
+  void publish_gauges();
 
   sim::Simulation* sim_;
   FlowControlParams params_;

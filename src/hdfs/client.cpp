@@ -4,6 +4,7 @@
 
 #include "common/crc32c.h"
 #include "sim/sync.h"
+#include "sim/trace.h"
 
 namespace hpcbb::hdfs {
 
@@ -66,6 +67,14 @@ class HdfsWriter final : public fs::Writer {
     block_bytes_ = 0;
     block_crc_ = 0;
     block_open_ = true;
+    // One causal op per block: every packet of this block (and the datanode
+    // spans it produces) shares this id.
+    sim::Simulation& sim = hub_->transport().fabric().simulation();
+    op_id_ = sim.next_op_id();
+    if (sim.trace() != nullptr) {
+      block_span_ = sim.trace()->begin(
+          "block." + std::to_string(block_id_), "hdfs", client_, op_id_);
+    }
     co_return Status::ok();
   }
 
@@ -88,6 +97,7 @@ class HdfsWriter final : public fs::Writer {
     req->offset = offset;
     req->data = std::move(packet);
     req->downstream.assign(pipeline_.begin() + 1, pipeline_.end());
+    req->op_id = op_id_;
 
     hub_->transport().fabric().simulation().spawn(
         [](HdfsWriter& w, net::NodeId head,
@@ -114,6 +124,8 @@ class HdfsWriter final : public fs::Writer {
     auto req = std::make_shared<const NnCompleteBlockRequest>(
         NnCompleteBlockRequest{path_, block_id_, block_bytes_, block_crc_});
     block_open_ = false;
+    sim::Simulation& sim = hub_->transport().fabric().simulation();
+    if (sim.trace() != nullptr) sim.trace()->end(block_span_);
     co_return (co_await hub_->call<void>(client_, namenode_,
                                          kNnCompleteBlock, req))
         .status();
@@ -128,6 +140,8 @@ class HdfsWriter final : public fs::Writer {
 
   bool block_open_ = false;
   BlockId block_id_ = 0;
+  std::uint64_t op_id_ = 0;
+  std::size_t block_span_ = 0;
   std::vector<net::NodeId> pipeline_;
   std::uint64_t block_bytes_ = 0;
   std::uint32_t block_crc_ = 0;
@@ -151,6 +165,8 @@ class HdfsReader final : public fs::Reader {
     out.reserve(length);
     std::uint64_t cursor = offset;
     const std::uint64_t end = offset + length;
+    const std::uint64_t op_id =
+        hub_->transport().fabric().simulation().next_op_id();
     // Blocks can have unequal sizes (last block short); walk them.
     std::uint64_t block_start = 0;
     for (const BlockLocation& block : meta_.blocks) {
@@ -159,7 +175,7 @@ class HdfsReader final : public fs::Reader {
         const std::uint64_t in_off = std::max(cursor, block_start) - block_start;
         const std::uint64_t in_len =
             std::min(end, block_end) - std::max(cursor, block_start);
-        Result<Bytes> piece = co_await read_block(block, in_off, in_len);
+        Result<Bytes> piece = co_await read_block(block, in_off, in_len, op_id);
         if (!piece.is_ok()) co_return piece.status();
         out.insert(out.end(), piece.value().begin(), piece.value().end());
         cursor += in_len;
@@ -175,7 +191,8 @@ class HdfsReader final : public fs::Reader {
  private:
   sim::Task<Result<Bytes>> read_block(const BlockLocation& block,
                                       std::uint64_t offset,
-                                      std::uint64_t length) {
+                                      std::uint64_t length,
+                                      std::uint64_t op_id) {
     if (block.nodes.empty()) {
       co_return error(StatusCode::kDataLoss,
                       "all replicas lost for block " +
@@ -193,7 +210,7 @@ class HdfsReader final : public fs::Reader {
     Status last = error(StatusCode::kUnavailable, "no replica answered");
     for (std::size_t attempt = 0; attempt < block.nodes.size(); ++attempt) {
       auto req = std::make_shared<const DnReadRequest>(
-          DnReadRequest{block.block_id, offset, length});
+          DnReadRequest{block.block_id, offset, length, op_id});
       auto result = co_await hub_->call<DnReadReply>(client_, source, kDnRead,
                                                      req);
       if (result.is_ok()) {

@@ -1,6 +1,8 @@
 #include "hdfs/datanode.h"
 
+#include "common/metrics.h"
 #include "sim/sync.h"
+#include "sim/trace.h"
 
 namespace hpcbb::hdfs {
 
@@ -45,9 +47,15 @@ sim::Task<net::RpcResponse> DataNode::handle_write_packet(
     co_return net::rpc_error(error(StatusCode::kUnavailable, "datanode down"));
   }
   const std::string name = block_name(req->block_id);
+  sim::Simulation& sim = hub_->transport().fabric().simulation();
+  const sim::SimTime start = sim.now();
+  sim::ScopedSpan span(sim.trace(), "write." + name, "hdfs", node_,
+                       req->op_id);
+  sim.metrics().counter("hdfs.dn.write_bytes").add(req->data->size());
 
   if (req->downstream.empty()) {
     Status st = co_await store_->write_at(name, req->offset, *req->data);
+    sim.metrics().histogram("hdfs.dn.write").record(sim.now() - start);
     if (!st.is_ok()) co_return net::rpc_error(std::move(st));
     co_return net::RpcResponse{Status::ok(), nullptr, kHeaderBytes};
   }
@@ -58,9 +66,8 @@ sim::Task<net::RpcResponse> DataNode::handle_write_packet(
   fwd->offset = req->offset;
   fwd->data = req->data;
   fwd->downstream.assign(req->downstream.begin() + 1, req->downstream.end());
+  fwd->op_id = req->op_id;
   const net::NodeId next = req->downstream.front();
-
-  sim::Simulation& sim = hub_->transport().fabric().simulation();
   std::vector<sim::Task<Status>> ops;
   ops.push_back([](net::RpcHub& hub, net::NodeId src, net::NodeId dst,
                    std::shared_ptr<const DnWritePacketRequest> r)
@@ -74,6 +81,7 @@ sim::Task<net::RpcResponse> DataNode::handle_write_packet(
 
   const std::vector<Status> results =
       co_await sim::parallel_collect(sim, std::move(ops));
+  sim.metrics().histogram("hdfs.dn.write").record(sim.now() - start);
   for (const Status& st : results) {
     if (!st.is_ok()) co_return net::rpc_error(st);
   }
@@ -94,8 +102,14 @@ sim::Task<net::RpcResponse> DataNode::handle_read(
     co_return net::rpc_error(error(StatusCode::kUnavailable, "datanode down"));
   }
   const std::string name = block_name(req->block_id);
+  sim::Simulation& sim = hub_->transport().fabric().simulation();
+  const sim::SimTime start = sim.now();
+  sim::ScopedSpan span(sim.trace(), "read." + name, "hdfs", node_,
+                       req->op_id);
   Result<Bytes> data = co_await store_->read(name, req->offset, req->length);
+  sim.metrics().histogram("hdfs.dn.read").record(sim.now() - start);
   if (!data.is_ok()) co_return net::rpc_error(data.status());
+  sim.metrics().counter("hdfs.dn.read_bytes").add(data.value().size());
   auto reply = std::make_shared<DnReadReply>();
   reply->data = make_bytes(std::move(data).value());
   const std::uint64_t wire = reply->wire_size();

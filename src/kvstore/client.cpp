@@ -21,20 +21,24 @@ bool Client::use_rdma(std::uint64_t bytes) const noexcept {
 }
 
 sim::Task<Status> Client::set(std::string key, BytesPtr value,
-                              bool pinned, std::uint64_t expiry_ns) {
+                              bool pinned, std::uint64_t expiry_ns,
+                              std::uint64_t op_id) {
   const net::NodeId server = server_for(key);
-  return set_on(server, std::move(key), std::move(value), pinned, expiry_ns);
+  return set_on(server, std::move(key), std::move(value), pinned, expiry_ns,
+                op_id);
 }
 
 sim::Task<Status> Client::set_on(net::NodeId server, std::string key,
                                  BytesPtr value, bool pinned,
-                                 std::uint64_t expiry_ns) {
+                                 std::uint64_t expiry_ns,
+                                 std::uint64_t op_id) {
   auto req = std::make_shared<SetRequest>();
   req->key = std::move(key);
   req->value = std::move(value);
   req->pinned = pinned;
   req->expiry_ns = expiry_ns;
   req->payload_by_rdma = use_rdma(req->value->size());
+  req->op_id = op_id;
 
   if (req->payload_by_rdma) {
     // Push the payload into the server's registered region first; the
@@ -49,14 +53,17 @@ sim::Task<Status> Client::set_on(net::NodeId server, std::string key,
   co_return result.status();
 }
 
-sim::Task<Result<BytesPtr>> Client::get(std::string key) {
+sim::Task<Result<BytesPtr>> Client::get(std::string key,
+                                        std::uint64_t op_id) {
   const net::NodeId server = server_for(key);
-  return get_from(server, std::move(key));
+  return get_from(server, std::move(key), op_id);
 }
 
 sim::Task<Result<BytesPtr>> Client::get_from(net::NodeId server,
-                                             std::string key) {
-  auto req = std::make_shared<const GetRequest>(GetRequest{std::move(key)});
+                                             std::string key,
+                                             std::uint64_t op_id) {
+  auto req =
+      std::make_shared<const GetRequest>(GetRequest{std::move(key), op_id});
   auto result = co_await hub_->call<GetReply>(self_, server, kOpGet, req);
   if (!result.is_ok()) co_return result.status();
   const auto& reply = result.value();

@@ -26,11 +26,13 @@ class Client {
   Client(net::RpcHub& hub, net::NodeId self,
          std::vector<net::NodeId> servers, const ClientParams& params = {});
 
-  // Store a value under `key` on its ring owner.
+  // Store a value under `key` on its ring owner. `op_id` (optional) tags the
+  // server-side trace spans with the caller's causal operation id.
   sim::Task<Status> set(std::string key, BytesPtr value,
-                        bool pinned = false, std::uint64_t expiry_ns = 0);
+                        bool pinned = false, std::uint64_t expiry_ns = 0,
+                        std::uint64_t op_id = 0);
 
-  sim::Task<Result<BytesPtr>> get(std::string key);
+  sim::Task<Result<BytesPtr>> get(std::string key, std::uint64_t op_id = 0);
 
   // Batched get from one round trip per involved server.
   sim::Task<Result<std::vector<std::optional<BytesPtr>>>> multi_get(
@@ -57,9 +59,11 @@ class Client {
   // Store a value on an explicit server (replica placement by upper layers).
   sim::Task<Status> set_on(net::NodeId server, std::string key,
                            BytesPtr value, bool pinned,
-                           std::uint64_t expiry_ns = 0);
+                           std::uint64_t expiry_ns = 0,
+                           std::uint64_t op_id = 0);
   sim::Task<Result<BytesPtr>> get_from(net::NodeId server,
-                                       std::string key);
+                                       std::string key,
+                                       std::uint64_t op_id = 0);
   sim::Task<Status> erase_on(net::NodeId server, std::string key);
   sim::Task<Status> pin_on(net::NodeId server, std::string key,
                            bool pinned);

@@ -25,6 +25,7 @@ struct SetRequest {
   bool pinned = false;
   std::uint64_t expiry_ns = 0;
   bool payload_by_rdma = false;  // payload already RDMA-WRITTEN by client
+  std::uint64_t op_id = 0;       // causal trace id; rides the header
 
   [[nodiscard]] std::uint64_t wire_size() const {
     return kMsgHeaderBytes + key.size() +
@@ -34,6 +35,7 @@ struct SetRequest {
 
 struct GetRequest {
   std::string key;
+  std::uint64_t op_id = 0;  // causal trace id; rides the header
 
   [[nodiscard]] std::uint64_t wire_size() const {
     return kMsgHeaderBytes + key.size();

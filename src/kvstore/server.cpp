@@ -1,5 +1,8 @@
 #include "kvstore/server.h"
 
+#include "common/metrics.h"
+#include "sim/trace.h"
+
 namespace hpcbb::kv {
 
 Server::Server(net::RpcHub& hub, net::NodeId node, const ServerParams& params)
@@ -53,30 +56,62 @@ net::RpcResponse unavailable() {
 }
 }  // namespace
 
+void Server::update_store_metrics() {
+  sim::Simulation& sim = hub_->transport().fabric().simulation();
+  const StoreStats s = store_.stats();
+  // Aggregate gauge moves by delta so all servers can share one series;
+  // the per-node labeled gauge holds this store's absolute level.
+  if (s.bytes >= metered_bytes_) {
+    sim.metrics().gauge("kv.bytes").add(s.bytes - metered_bytes_);
+  } else {
+    sim.metrics().gauge("kv.bytes").sub(metered_bytes_ - s.bytes);
+  }
+  metered_bytes_ = s.bytes;
+  sim.metrics().gauge(labeled("kv.bytes", "node", node_)).set(s.bytes);
+  if (s.evictions > metered_evictions_) {
+    sim.metrics().counter("kv.evictions").add(s.evictions -
+                                              metered_evictions_);
+    metered_evictions_ = s.evictions;
+  }
+}
+
 sim::Task<net::RpcResponse> Server::handle_set(
     std::shared_ptr<const SetRequest> req) {
   if (crashed_) co_return unavailable();
+  sim::Simulation& sim = hub_->transport().fabric().simulation();
+  const sim::SimTime start = sim.now();
+  sim::ScopedSpan span(sim.trace(), "set." + req->key, "kv", node_,
+                       req->op_id);
   // RDMA-placed payloads skip the receive-path copy.
   co_await charge_op(req->payload_by_rdma ? 0 : req->value->size());
   Status st = store_.set(req->key, *req->value,
                          SetOptions{.pinned = req->pinned,
                                     .expiry_ns = req->expiry_ns});
+  update_store_metrics();
   if (!st.is_ok()) co_return net::rpc_error(std::move(st));
   if (journal_ != nullptr) {
     // Append-only journal on the server's local SSD.
     co_await journal_->write(journal_cursor_, req->value->size());
     journal_cursor_ += req->value->size();
   }
+  sim.metrics().histogram("kv.put").record(sim.now() - start);
+  sim.metrics().counter("kv.put_bytes").add(req->value->size());
   co_return net::RpcResponse{Status::ok(), nullptr, kMsgHeaderBytes};
 }
 
 sim::Task<net::RpcResponse> Server::handle_get(
     std::shared_ptr<const GetRequest> req) {
   if (crashed_) co_return unavailable();
-  const std::uint64_t now = hub_->transport().fabric().simulation().now();
+  sim::Simulation& sim = hub_->transport().fabric().simulation();
+  const sim::SimTime start = sim.now();
+  sim::ScopedSpan span(sim.trace(), "get." + req->key, "kv", node_,
+                       req->op_id);
+  const std::uint64_t now = sim.now();
   Result<Bytes> value = store_.get(req->key, now);
   if (!value.is_ok()) {
     co_await charge_op(0);
+    sim.metrics().counter("kv.misses").add();
+    sim.metrics().histogram("kv.get").record(sim.now() - start);
     co_return net::rpc_error(value.status());
   }
   const bool use_rdma =
@@ -89,6 +124,9 @@ sim::Task<net::RpcResponse> Server::handle_get(
   reply->value = make_bytes(std::move(value).value());
   reply->inline_payload = !use_rdma;
   const std::uint64_t wire = reply->wire_size();
+  sim.metrics().counter("kv.hits").add();
+  sim.metrics().counter("kv.get_bytes").add(reply->value->size());
+  sim.metrics().histogram("kv.get").record(sim.now() - start);
   co_return net::rpc_ok<GetReply>(std::move(reply), wire);
 }
 
@@ -116,8 +154,12 @@ sim::Task<net::RpcResponse> Server::handle_multi_get(
 sim::Task<net::RpcResponse> Server::handle_erase(
     std::shared_ptr<const EraseRequest> req) {
   if (crashed_) co_return unavailable();
+  sim::Simulation& sim = hub_->transport().fabric().simulation();
+  const sim::SimTime start = sim.now();
   co_await charge_op(0);
   const bool existed = store_.erase(req->key);
+  update_store_metrics();
+  sim.metrics().histogram("kv.delete").record(sim.now() - start);
   if (!existed) {
     co_return net::rpc_error(error(StatusCode::kNotFound, "key not found"));
   }

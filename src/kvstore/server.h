@@ -65,12 +65,18 @@ class Server {
   // Charge base op cost plus an optional payload copy on this node's CPU.
   sim::Task<void> charge_op(std::uint64_t copy_bytes);
 
+  // Push store-level deltas (bytes held, evictions) into the simulation's
+  // metric registry: global gauges/counters plus per-node labeled gauges.
+  void update_store_metrics();
+
   net::RpcHub* hub_;
   net::NodeId node_;
   ServerParams params_;
   KvStore store_;
   std::unique_ptr<storage::Device> journal_;
   std::uint64_t journal_cursor_ = 0;
+  std::uint64_t metered_bytes_ = 0;      // store bytes already in "kv.bytes"
+  std::uint64_t metered_evictions_ = 0;  // evictions already counted
   bool crashed_ = false;
 };
 

@@ -69,7 +69,8 @@ std::vector<LustreClient::Chunk> LustreClient::chunks_for(
 
 sim::Task<Status> LustreClient::write(net::NodeId client,
                                       const FileLayout& layout,
-                                      std::uint64_t offset, BytesPtr data) {
+                                      std::uint64_t offset, BytesPtr data,
+                                      std::uint64_t op_id) {
   if (layout.targets.empty()) {
     co_return error(StatusCode::kFailedPrecondition, "layout has no targets");
   }
@@ -83,6 +84,7 @@ sim::Task<Status> LustreClient::write(net::NodeId client,
     req->ost_index = chunk.target.ost_index;
     req->object = layout.path;
     req->offset = chunk.object_offset;
+    req->op_id = op_id;
     req->data = make_bytes(
         Bytes(data->begin() + static_cast<std::ptrdiff_t>(chunk.file_offset -
                                                           offset),
@@ -105,7 +107,8 @@ sim::Task<Status> LustreClient::write(net::NodeId client,
 sim::Task<Result<Bytes>> LustreClient::read(net::NodeId client,
                                             const FileLayout& layout,
                                             std::uint64_t offset,
-                                            std::uint64_t length) {
+                                            std::uint64_t length,
+                                            std::uint64_t op_id) {
   if (layout.targets.empty()) {
     co_return error(StatusCode::kFailedPrecondition, "layout has no targets");
   }
@@ -121,7 +124,7 @@ sim::Task<Result<Bytes>> LustreClient::read(net::NodeId client,
   for (const Chunk& chunk : chunks) {
     auto req = std::make_shared<const OssReadRequest>(OssReadRequest{
         chunk.target.ost_index, layout.path, chunk.object_offset,
-        chunk.length});
+        chunk.length, op_id});
     ops.push_back([](net::RpcHub& hub, net::NodeId src, net::NodeId dst,
                      std::shared_ptr<const OssReadRequest> r)
                       -> sim::Task<Result<Bytes>> {

@@ -28,11 +28,14 @@ class LustreClient {
                                                    const std::string& prefix);
 
   // Striped write/read at an absolute file offset; chunks go to their OSTs
-  // in parallel.
+  // in parallel. `op_id` (optional) tags OSS-side trace spans with the
+  // caller's causal operation id.
   sim::Task<Status> write(net::NodeId client, const FileLayout& layout,
-                          std::uint64_t offset, BytesPtr data);
+                          std::uint64_t offset, BytesPtr data,
+                          std::uint64_t op_id = 0);
   sim::Task<Result<Bytes>> read(net::NodeId client, const FileLayout& layout,
-                                std::uint64_t offset, std::uint64_t length);
+                                std::uint64_t offset, std::uint64_t length,
+                                std::uint64_t op_id = 0);
 
   [[nodiscard]] net::NodeId mds_node() const noexcept { return mds_; }
   [[nodiscard]] net::RpcHub& hub() noexcept { return *hub_; }

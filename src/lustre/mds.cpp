@@ -27,7 +27,11 @@ Mds::~Mds() {
 }
 
 sim::Task<void> Mds::charge_md_op() {
-  return hub_->transport().fabric().charge_cpu(node_, params_.md_op_ns);
+  sim::Simulation& sim = hub_->transport().fabric().simulation();
+  const sim::SimTime start = sim.now();
+  sim.metrics().counter("lustre.md_ops").add();
+  co_await hub_->transport().fabric().charge_cpu(node_, params_.md_op_ns);
+  sim.metrics().histogram("lustre.md").record(sim.now() - start);
 }
 
 sim::Task<net::RpcResponse> Mds::handle_create(

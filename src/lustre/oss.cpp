@@ -1,5 +1,8 @@
 #include "lustre/oss.h"
 
+#include "common/metrics.h"
+#include "sim/trace.h"
+
 namespace hpcbb::lustre {
 
 Oss::Oss(net::RpcHub& hub, net::NodeId node, const OssParams& params)
@@ -39,17 +42,35 @@ sim::Task<net::RpcResponse> Oss::handle_write(
     co_return net::rpc_error(
         error(StatusCode::kInvalidArgument, "no such OST"));
   }
+  sim::Simulation& sim = hub_->transport().fabric().simulation();
+  const sim::SimTime start = sim.now();
+  sim::ScopedSpan span(sim.trace(), "write." + req->object, "lustre", node_,
+                       req->op_id);
+  Gauge& queue = sim.metrics().gauge("lustre.queue_depth");
+  queue.add();
   Status st = co_await store_->write_at(object_key(req->ost_index, req->object),
                                         req->offset, *req->data);
+  queue.sub();
+  sim.metrics().histogram("lustre.write").record(sim.now() - start);
   if (!st.is_ok()) co_return net::rpc_error(std::move(st));
+  sim.metrics().counter("lustre.write_bytes").add(req->data->size());
   co_return net::RpcResponse{Status::ok(), nullptr, kHeaderBytes};
 }
 
 sim::Task<net::RpcResponse> Oss::handle_read(
     std::shared_ptr<const OssReadRequest> req) {
+  sim::Simulation& sim = hub_->transport().fabric().simulation();
+  const sim::SimTime start = sim.now();
+  sim::ScopedSpan span(sim.trace(), "read." + req->object, "lustre", node_,
+                       req->op_id);
+  Gauge& queue = sim.metrics().gauge("lustre.queue_depth");
+  queue.add();
   Result<Bytes> data = co_await store_->read(
       object_key(req->ost_index, req->object), req->offset, req->length);
+  queue.sub();
+  sim.metrics().histogram("lustre.read").record(sim.now() - start);
   if (!data.is_ok()) co_return net::rpc_error(data.status());
+  sim.metrics().counter("lustre.read_bytes").add(data.value().size());
   auto reply = std::make_shared<OssReadReply>();
   reply->data = make_bytes(std::move(data).value());
   const std::uint64_t wire = reply->wire_size();

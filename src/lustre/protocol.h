@@ -92,6 +92,7 @@ struct OssWriteRequest {
   std::string object;  // object name (derived from the file path)
   std::uint64_t offset = 0;
   BytesPtr data;
+  std::uint64_t op_id = 0;  // causal trace id; rides the header
   [[nodiscard]] std::uint64_t wire_size() const {
     return kHeaderBytes + object.size() + data->size();
   }
@@ -102,6 +103,7 @@ struct OssReadRequest {
   std::string object;
   std::uint64_t offset = 0;
   std::uint64_t length = 0;
+  std::uint64_t op_id = 0;  // causal trace id; rides the header
   [[nodiscard]] std::uint64_t wire_size() const {
     return kHeaderBytes + object.size();
   }

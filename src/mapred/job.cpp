@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+#include "sim/trace.h"
+
 namespace hpcbb::mapred {
 
 JobRunner::JobRunner(net::RpcHub& hub, fs::FileSystem& filesystem,
@@ -195,7 +198,15 @@ sim::Task<Result<JobStats>> JobRunner::run(
   }
   state.outputs.resize(state.pending.size());
 
+  // One causal op per job: both phase spans share it, so the whole job can
+  // be picked out of a trace by a single id.
+  const std::uint64_t op_id = sim.next_op_id();
+
   // Map phase: slots-per-node workers drain the split queue.
+  std::size_t map_span = 0;
+  if (sim.trace() != nullptr) {
+    map_span = sim.trace()->begin("map_phase", "mapred", 0, op_id);
+  }
   std::vector<sim::Task<void>> workers;
   for (const net::NodeId node : nodes_) {
     for (std::uint32_t s = 0; s < params_.map_slots_per_node; ++s) {
@@ -203,14 +214,20 @@ sim::Task<Result<JobStats>> JobRunner::run(
     }
   }
   co_await sim::parallel(sim, std::move(workers));
+  if (sim.trace() != nullptr) sim.trace()->end(map_span);
   if (!state.first_error.is_ok()) co_return state.first_error;
   state.stats.map_phase_ns = sim.now() - started;
+  sim.metrics().histogram("mapred.map_phase_ns").record(state.stats.map_phase_ns);
 
   // Reduce phase: reducers round-robin over nodes, bounded per-node slots.
   const std::uint32_t reducers = job.num_reducers();
   state.stats.reducers = reducers;
   if (reducers > 0) {
     const sim::SimTime reduce_started = sim.now();
+    std::size_t reduce_span = 0;
+    if (sim.trace() != nullptr) {
+      reduce_span = sim.trace()->begin("reduce_phase", "mapred", 0, op_id);
+    }
     std::map<net::NodeId, std::unique_ptr<sim::Semaphore>> slots;
     for (const net::NodeId node : nodes_) {
       slots.emplace(node, std::make_unique<sim::Semaphore>(
@@ -229,11 +246,22 @@ sim::Task<Result<JobStats>> JobRunner::run(
       }(*this, job, state, r, node, *slots.at(node), output_prefix));
     }
     co_await sim::parallel(sim, std::move(tasks));
+    if (sim.trace() != nullptr) sim.trace()->end(reduce_span);
     if (!state.first_error.is_ok()) co_return state.first_error;
     state.stats.reduce_phase_ns = sim.now() - reduce_started;
+    sim.metrics()
+        .histogram("mapred.reduce_phase_ns")
+        .record(state.stats.reduce_phase_ns);
   }
 
   state.stats.makespan_ns = sim.now() - started;
+  {
+    auto& metrics = sim.metrics();
+    metrics.counter("mapred.input_bytes").add(state.stats.input_bytes);
+    metrics.counter("mapred.shuffle_bytes").add(state.stats.shuffle_bytes);
+    metrics.counter("mapred.output_bytes").add(state.stats.output_bytes);
+    metrics.counter("mapred.jobs").add();
+  }
   co_return state.stats;
 }
 

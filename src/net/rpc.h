@@ -68,22 +68,17 @@ class RpcHub {
 
   [[nodiscard]] Transport& transport() noexcept { return *transport_; }
 
-  // Untyped call; the typed wrapper below is what services use.
+  // Untyped call; the typed wrapper below is what services use. Every call
+  // (success or error) lands in the "net.rpc" latency histogram.
   sim::Task<RpcResponse> call_raw(NodeId src, NodeId dst, Port port,
                                   std::shared_ptr<const void> request,
                                   std::uint64_t request_wire_bytes) {
-    Status st = co_await transport_->send(src, dst, request_wire_bytes);
-    if (!st.is_ok()) co_return rpc_error(std::move(st));
-
-    const auto it = handlers_.find(endpoint_key(dst, port));
-    if (it == handlers_.end()) {
-      co_return rpc_error(
-          error(StatusCode::kUnavailable, "connection refused"));
-    }
-    RpcResponse response = co_await it->second(std::move(request));
-
-    st = co_await transport_->send(dst, src, response.wire_bytes);
-    if (!st.is_ok()) co_return rpc_error(std::move(st));
+    sim::Simulation& sim = transport_->fabric().simulation();
+    const sim::SimTime start = sim.now();
+    RpcResponse response = co_await call_raw_impl(
+        src, dst, port, std::move(request), request_wire_bytes);
+    sim.metrics().histogram("net.rpc").record(sim.now() - start);
+    sim.metrics().counter("net.rpc.calls").add();
     co_return response;
   }
 
@@ -100,6 +95,24 @@ class RpcHub {
   }
 
  private:
+  sim::Task<RpcResponse> call_raw_impl(NodeId src, NodeId dst, Port port,
+                                       std::shared_ptr<const void> request,
+                                       std::uint64_t request_wire_bytes) {
+    Status st = co_await transport_->send(src, dst, request_wire_bytes);
+    if (!st.is_ok()) co_return rpc_error(std::move(st));
+
+    const auto it = handlers_.find(endpoint_key(dst, port));
+    if (it == handlers_.end()) {
+      co_return rpc_error(
+          error(StatusCode::kUnavailable, "connection refused"));
+    }
+    RpcResponse response = co_await it->second(std::move(request));
+
+    st = co_await transport_->send(dst, src, response.wire_bytes);
+    if (!st.is_ok()) co_return rpc_error(std::move(st));
+    co_return response;
+  }
+
   static std::uint64_t endpoint_key(NodeId node, Port port) noexcept {
     return (static_cast<std::uint64_t>(node) << 16) | port;
   }

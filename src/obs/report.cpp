@@ -1,0 +1,96 @@
+#include "obs/report.h"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+
+#include "common/metrics.h"
+#include "obs/sampler.h"
+
+namespace hpcbb::obs {
+
+namespace {
+
+// Metric names are internal identifiers ("kv.put", "kv.bytes{node=3}") but a
+// stray quote or backslash must not corrupt the report.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string json_double(double value) {
+  std::array<char, 32> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.6g", value);
+  return buf.data();
+}
+
+}  // namespace
+
+std::string report_json(sim::Simulation& sim,
+                        const TimeSeriesSampler* sampler) {
+  std::string out = "{\"schema\":\"";
+  out += kReportSchema;
+  out += "\",\"sim_time_ns\":" + std::to_string(sim.now());
+
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : sim.metrics().counters()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + std::to_string(value);
+  }
+  out += "}";
+
+  out += ",\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : sim.metrics().gauges()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) +
+           "\":{\"value\":" + std::to_string(gauge.value) +
+           ",\"high_watermark\":" + std::to_string(gauge.high_watermark) + "}";
+  }
+  out += "}";
+
+  out += ",\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : sim.metrics().histograms()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) +
+           "\":{\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + std::to_string(h.sum) +
+           ",\"min\":" + std::to_string(h.min) +
+           ",\"max\":" + std::to_string(h.max) +
+           ",\"mean\":" + json_double(h.mean) +
+           ",\"p50\":" + std::to_string(h.p50) +
+           ",\"p95\":" + std::to_string(h.p95) +
+           ",\"p99\":" + std::to_string(h.p99) + "}";
+  }
+  out += "}";
+
+  if (sampler != nullptr) {
+    out += ",\"timeline\":" + sampler->to_json();
+  }
+  out += "}";
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  file << content;
+  return static_cast<bool>(file);
+}
+
+}  // namespace hpcbb::obs

@@ -1,0 +1,27 @@
+// Machine-readable experiment reports.
+//
+// report_json() renders the simulation's entire MetricRegistry — counters,
+// gauges (with high-watermarks), histogram summaries (count/sum/min/max/mean
+// and p50/p95/p99) — plus an optional sampled timeline into one JSON
+// document. The schema is versioned ("hpcbb.report.v1") so tools/report.py
+// can pretty-print and diff reports across runs.
+#pragma once
+
+#include <string>
+
+#include "sim/simulation.h"
+
+namespace hpcbb::obs {
+
+class TimeSeriesSampler;
+
+// Current report schema identifier, embedded in every report.
+inline constexpr const char* kReportSchema = "hpcbb.report.v1";
+
+[[nodiscard]] std::string report_json(
+    sim::Simulation& sim, const TimeSeriesSampler* sampler = nullptr);
+
+// Writes `content` to `path`; returns false on I/O failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace hpcbb::obs

@@ -1,0 +1,103 @@
+#include "obs/sampler.h"
+
+#include <utility>
+
+#include "common/metrics.h"
+
+namespace hpcbb::obs {
+
+TimeSeriesSampler::TimeSeriesSampler(sim::Simulation& sim,
+                                     sim::SimTime interval_ns)
+    : sim_(sim), interval_ns_(interval_ns == 0 ? 1 : interval_ns) {}
+
+void TimeSeriesSampler::add_probe(std::string name, Probe probe) {
+  names_.push_back(std::move(name));
+  probes_.push_back(std::move(probe));
+}
+
+void TimeSeriesSampler::watch_counter(const std::string& name) {
+  Counter* counter = &sim_.metrics().counter(name);
+  add_probe(name, [counter] { return counter->get(); });
+}
+
+void TimeSeriesSampler::watch_gauge(const std::string& name) {
+  Gauge* gauge = &sim_.metrics().gauge(name);
+  add_probe(name, [gauge] { return gauge->get(); });
+}
+
+void TimeSeriesSampler::start() {
+  if (started_) return;
+  started_ = true;
+  sample_now();
+  sim_.spawn(run_loop());
+}
+
+void TimeSeriesSampler::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  if (started_) sample_now();
+}
+
+void TimeSeriesSampler::sample_now() {
+  TimelinePoint point;
+  point.t_ns = sim_.now();
+  point.values.reserve(probes_.size());
+  for (const auto& probe : probes_) point.values.push_back(probe());
+  if (!timeline_.empty() && timeline_.back().t_ns == point.t_ns) {
+    timeline_.back() = std::move(point);
+    return;
+  }
+  timeline_.push_back(std::move(point));
+}
+
+sim::Task<void> TimeSeriesSampler::run_loop() {
+  while (!stopped_) {
+    const sim::SimTime next_tick =
+        (sim_.now() / interval_ns_ + 1) * interval_ns_;
+    co_await sim_.delay_until(next_tick);
+    if (stopped_) break;
+    sample_now();
+  }
+}
+
+std::string TimeSeriesSampler::to_csv() const {
+  std::string out = "t_ns";
+  for (const std::string& name : names_) {
+    out += ',';
+    out += name;
+  }
+  out += '\n';
+  for (const TimelinePoint& point : timeline_) {
+    out += std::to_string(point.t_ns);
+    for (const std::uint64_t value : point.values) {
+      out += ',';
+      out += std::to_string(value);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TimeSeriesSampler::to_json() const {
+  std::string out =
+      "{\"interval_ns\":" + std::to_string(interval_ns_) + ",\"series\":[";
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '"' + names_[i] + '"';
+  }
+  out += "],\"points\":[";
+  for (std::size_t i = 0; i < timeline_.size(); ++i) {
+    const TimelinePoint& point = timeline_[i];
+    if (i != 0) out += ',';
+    out += "{\"t_ns\":" + std::to_string(point.t_ns) + ",\"values\":[";
+    for (std::size_t j = 0; j < point.values.size(); ++j) {
+      if (j != 0) out += ',';
+      out += std::to_string(point.values[j]);
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace hpcbb::obs

@@ -20,6 +20,8 @@ namespace hpcbb::sim {
 
 using SimTime = std::uint64_t;  // nanoseconds since simulation start
 
+class TraceRecorder;
+
 class Simulation {
  public:
   Simulation() = default;
@@ -76,6 +78,16 @@ class Simulation {
   // Shared metric registry for all components built on this simulation.
   MetricRegistry& metrics() noexcept { return metrics_; }
 
+  // Optional shared trace recorder. Components reach it through their
+  // simulation handle instead of each growing a set_trace(); null (the
+  // default) keeps tracing zero-cost.
+  void set_trace(TraceRecorder* trace) noexcept { trace_ = trace; }
+  [[nodiscard]] TraceRecorder* trace() const noexcept { return trace_; }
+
+  // Fresh causal operation id (nonzero, unique per simulation). Tags the
+  // trace spans of one logical operation across layers.
+  [[nodiscard]] std::uint64_t next_op_id() noexcept { return ++next_op_id_; }
+
  private:
   struct RootTask {
     struct promise_type {
@@ -119,6 +131,8 @@ class Simulation {
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t next_op_id_ = 0;
+  TraceRecorder* trace_ = nullptr;
   std::uint64_t next_root_id_ = 0;
   std::uint64_t events_processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;

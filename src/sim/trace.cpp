@@ -27,14 +27,18 @@ std::string TraceRecorder::to_chrome_json() const {
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   for (const TraceSpan& span : spans_) {
-    const SimTime end = span.end_ns == 0 ? sim_->now() : span.end_ns;
+    const SimTime end = span.end_ns == kOpenSentinel ? sim_->now() : span.end_ns;
     if (!first) out += ",";
     first = false;
     out += "{\"name\":\"" + json_escape(span.name) + "\",\"cat\":\"" +
            json_escape(span.category) + "\",\"ph\":\"X\",\"ts\":" +
            std::to_string(span.begin_ns / 1000) + ",\"dur\":" +
            std::to_string((end - span.begin_ns) / 1000) +
-           ",\"pid\":0,\"tid\":" + std::to_string(span.track) + "}";
+           ",\"pid\":0,\"tid\":" + std::to_string(span.track);
+    if (span.op_id != 0) {
+      out += ",\"args\":{\"op_id\":" + std::to_string(span.op_id) + "}";
+    }
+    out += "}";
   }
   out += "]}";
   return out;
@@ -47,7 +51,7 @@ std::string TraceRecorder::summary() const {
   };
   std::map<std::pair<std::string, std::string>, Agg> by_key;
   for (const TraceSpan& span : spans_) {
-    const SimTime end = span.end_ns == 0 ? sim_->now() : span.end_ns;
+    const SimTime end = span.end_ns == kOpenSentinel ? sim_->now() : span.end_ns;
     // Aggregate by name prefix up to the first '.': "flush.block_7" and
     // "flush.block_9" fold together.
     const std::size_t dot = span.name.find('.');

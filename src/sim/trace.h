@@ -16,12 +16,20 @@
 
 namespace hpcbb::sim {
 
+// end_ns of a span that has not finished yet. A real span may legitimately
+// end at simulated time 0, so "0 == open" would make it unclosable; ~0 can
+// never be a valid end time (the sim would have to run for 584 years).
+inline constexpr SimTime kOpenSentinel = ~SimTime{0};
+
 struct TraceSpan {
   std::string name;      // "dfsio.write.file_3", "flush.block", ...
   std::string category;  // "hdfs", "kv", "lustre", "bb", "mapred", ...
   std::uint32_t track = 0;  // usually the node id; becomes the trace row
   SimTime begin_ns = 0;
-  SimTime end_ns = 0;
+  SimTime end_ns = kOpenSentinel;
+  // Causal operation id: spans from one logical operation (a block's journey
+  // client -> kv -> flusher -> Lustre) share an op_id; 0 = unattributed.
+  std::uint64_t op_id = 0;
 };
 
 class TraceRecorder {
@@ -34,23 +42,23 @@ class TraceRecorder {
   // Opens a span; finish it via the returned index. Spans may nest and
   // interleave freely (they are closed by index, not by a stack).
   std::size_t begin(std::string name, std::string category,
-                    std::uint32_t track) {
+                    std::uint32_t track, std::uint64_t op_id = 0) {
     spans_.push_back(TraceSpan{std::move(name), std::move(category), track,
-                               sim_->now(), 0});
+                               sim_->now(), kOpenSentinel, op_id});
     return spans_.size() - 1;
   }
 
   void end(std::size_t index) {
-    if (index < spans_.size() && spans_[index].end_ns == 0) {
+    if (index < spans_.size() && spans_[index].end_ns == kOpenSentinel) {
       spans_[index].end_ns = sim_->now();
     }
   }
 
   // Records an already-measured span.
   void record(std::string name, std::string category, std::uint32_t track,
-              SimTime begin_ns, SimTime end_ns) {
+              SimTime begin_ns, SimTime end_ns, std::uint64_t op_id = 0) {
     spans_.push_back(TraceSpan{std::move(name), std::move(category), track,
-                               begin_ns, end_ns});
+                               begin_ns, end_ns, op_id});
   }
 
   [[nodiscard]] const std::vector<TraceSpan>& spans() const noexcept {
@@ -58,7 +66,7 @@ class TraceRecorder {
   }
   [[nodiscard]] std::size_t open_span_count() const noexcept {
     std::size_t open = 0;
-    for (const auto& span : spans_) open += span.end_ns == 0;
+    for (const auto& span : spans_) open += span.end_ns == kOpenSentinel;
     return open;
   }
 
@@ -81,10 +89,11 @@ class TraceRecorder {
 class [[nodiscard]] ScopedSpan {
  public:
   ScopedSpan(TraceRecorder* recorder, std::string name, std::string category,
-             std::uint32_t track)
+             std::uint32_t track, std::uint64_t op_id = 0)
       : recorder_(recorder) {
     if (recorder_ != nullptr) {
-      index_ = recorder_->begin(std::move(name), std::move(category), track);
+      index_ = recorder_->begin(std::move(name), std::move(category), track,
+                                op_id);
     }
   }
   ~ScopedSpan() {

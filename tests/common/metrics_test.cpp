@@ -166,9 +166,113 @@ TEST(MetricRegistryTest, ResetZeroesAll) {
   MetricRegistry reg;
   reg.counter("x").add(5);
   reg.histogram("h").record(9);
+  reg.gauge("g").set(7);
   reg.reset();
   EXPECT_EQ(reg.counter_value("x"), 0u);
   EXPECT_EQ(reg.histogram("h").count(), 0u);
+  EXPECT_EQ(reg.gauge_value("g"), 0u);
+  EXPECT_EQ(reg.gauge("g").high_watermark(), 0u);
+}
+
+TEST(GaugeTest, SetAddSub) {
+  Gauge g;
+  EXPECT_EQ(g.get(), 0u);
+  g.set(10);
+  EXPECT_EQ(g.get(), 10u);
+  g.add(5);
+  EXPECT_EQ(g.get(), 15u);
+  g.sub(7);
+  EXPECT_EQ(g.get(), 8u);
+  g.add();  // default +1
+  g.sub();  // default -1
+  EXPECT_EQ(g.get(), 8u);
+}
+
+TEST(GaugeTest, SubSaturatesAtZero) {
+  Gauge g;
+  g.set(3);
+  g.sub(100);
+  EXPECT_EQ(g.get(), 0u);
+}
+
+TEST(GaugeTest, HighWatermarkTracksPeakNotCurrent) {
+  Gauge g;
+  g.set(10);
+  g.add(90);  // peak 100
+  g.sub(60);
+  EXPECT_EQ(g.get(), 40u);
+  EXPECT_EQ(g.high_watermark(), 100u);
+  g.set(5);  // set below peak does not lower the watermark
+  EXPECT_EQ(g.high_watermark(), 100u);
+  g.set(200);
+  EXPECT_EQ(g.high_watermark(), 200u);
+}
+
+TEST(GaugeTest, ConcurrentAddersKeepConsistentWatermark) {
+  Gauge g;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < 1000; ++i) g.add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(g.get(), 4000u);
+  EXPECT_EQ(g.high_watermark(), 4000u);
+}
+
+TEST(LabeledMetricTest, BuildsAndStripsKeys) {
+  EXPECT_EQ(labeled("kv.bytes", "node", 3), "kv.bytes{node=3}");
+  EXPECT_EQ(base_name("kv.bytes{node=3}"), "kv.bytes");
+  EXPECT_EQ(base_name("kv.bytes"), "kv.bytes");
+}
+
+TEST(LabeledMetricTest, LabeledGaugesAreIndependent) {
+  MetricRegistry reg;
+  reg.gauge(labeled("kv.bytes", "node", 1)).set(10);
+  reg.gauge(labeled("kv.bytes", "node", 2)).set(20);
+  EXPECT_EQ(reg.gauge_value("kv.bytes{node=1}"), 10u);
+  EXPECT_EQ(reg.gauge_value("kv.bytes{node=2}"), 20u);
+  const auto all = reg.gauges();
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_EQ(all.at("kv.bytes{node=1}").value, 10u);
+}
+
+TEST(HistogramSnapshotTest, SummarizesDistribution) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v * 1000);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_EQ(snap.sum, 5050u * 1000u);
+  EXPECT_EQ(snap.min, 1000u);
+  EXPECT_EQ(snap.max, 100000u);
+  EXPECT_DOUBLE_EQ(snap.mean, 50500.0);
+  // Log-linear buckets return upper bounds: quantiles are >= the exact
+  // value but within one sub-bucket's relative error.
+  EXPECT_GE(snap.p50, 50u * 1000u);
+  EXPECT_GE(snap.p95, 95u * 1000u);
+  EXPECT_GE(snap.p99, 99u * 1000u);
+  EXPECT_LE(snap.p50, snap.p95);
+  EXPECT_LE(snap.p95, snap.p99);
+  EXPECT_LE(snap.p99, snap.max * 2);
+}
+
+TEST(HistogramSnapshotTest, EmptyHistogramSnapshotsToZeros) {
+  Histogram h;
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.p99, 0u);
+}
+
+TEST(MetricRegistryTest, HistogramSnapshotsExported) {
+  MetricRegistry reg;
+  reg.histogram("lat").record(5000);
+  reg.histogram("lat").record(7000);
+  const auto snaps = reg.histograms();
+  ASSERT_TRUE(snaps.contains("lat"));
+  EXPECT_EQ(snaps.at("lat").count, 2u);
+  EXPECT_EQ(snaps.at("lat").sum, 12000u);
 }
 
 }  // namespace

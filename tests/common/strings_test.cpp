@@ -60,5 +60,27 @@ TEST(StringsTest, FormatDuration) {
   EXPECT_EQ(format_duration_ns(2'500'000'000ull), "2.50 s");
 }
 
+TEST(StringsTest, ParseDurationSuffixes) {
+  EXPECT_EQ(parse_duration_ns("250ns"), 250u);
+  EXPECT_EQ(parse_duration_ns("5us"), 5'000u);
+  EXPECT_EQ(parse_duration_ns("100ms"), 100'000'000u);
+  EXPECT_EQ(parse_duration_ns("2s"), 2'000'000'000u);
+  EXPECT_EQ(parse_duration_ns("750"), 750u);  // bare count = nanoseconds
+}
+
+TEST(StringsTest, ParseDurationFractionsAndWhitespace) {
+  EXPECT_EQ(parse_duration_ns("1.5ms"), 1'500'000u);
+  EXPECT_EQ(parse_duration_ns("0.25s"), 250'000'000u);
+  EXPECT_EQ(parse_duration_ns(" 10ms "), 10'000'000u);
+}
+
+TEST(StringsTest, ParseDurationRejectsGarbage) {
+  EXPECT_FALSE(parse_duration_ns("").has_value());
+  EXPECT_FALSE(parse_duration_ns("fast").has_value());
+  EXPECT_FALSE(parse_duration_ns("-5ms").has_value());
+  EXPECT_FALSE(parse_duration_ns("10 q").has_value());
+  EXPECT_FALSE(parse_duration_ns("ms").has_value());
+}
+
 }  // namespace
 }  // namespace hpcbb

@@ -1,0 +1,173 @@
+// Observability layer: time-series sampler lifecycle/alignment and the
+// machine-readable report schema.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/metrics.h"
+#include "common/units.h"
+#include "obs/report.h"
+#include "obs/sampler.h"
+#include "sim/simulation.h"
+#include "sim/task.h"
+
+namespace hpcbb::obs {
+namespace {
+
+using namespace hpcbb::duration;  // NOLINT
+using sim::Simulation;
+using sim::Task;
+
+TEST(SamplerTest, TicksAlignToIntervalMultiples) {
+  Simulation sim;
+  TimeSeriesSampler sampler(sim, 100 * us);
+  sampler.watch_counter("ops");
+  sim.spawn([](Simulation& s, TimeSeriesSampler& sam) -> Task<void> {
+    co_await s.delay(37 * us);  // start off-grid
+    sam.start();
+    co_await s.delay(250 * us);
+    sam.stop();
+  }(sim, sampler));
+  sim.run();
+  const auto& points = sampler.timeline();
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0].t_ns, 37 * us);   // baseline sample at start()
+  EXPECT_EQ(points[1].t_ns, 100 * us);  // aligned, not 137us
+  EXPECT_EQ(points[2].t_ns, 200 * us);
+  EXPECT_EQ(points[3].t_ns, 287 * us);  // final sample at stop()
+}
+
+TEST(SamplerTest, TimestampsStrictlyIncreaseEvenWhenStopLandsOnATick) {
+  Simulation sim;
+  TimeSeriesSampler sampler(sim, 100 * us);
+  sampler.watch_counter("ops");
+  sim.spawn([](Simulation& s, TimeSeriesSampler& sam) -> Task<void> {
+    sam.start();
+    co_await s.delay(200 * us);  // stop exactly on the t=200us tick
+    sam.stop();
+  }(sim, sampler));
+  sim.run();
+  const auto& points = sampler.timeline();
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LT(points[i - 1].t_ns, points[i].t_ns) << "at index " << i;
+  }
+  EXPECT_EQ(points.back().t_ns, 200 * us);
+}
+
+TEST(SamplerTest, StopTakesFinalSampleAtQuiescenceAndSimDrains) {
+  Simulation sim;
+  TimeSeriesSampler sampler(sim, 50 * us);
+  sampler.watch_counter("bytes");
+  sim.spawn([](Simulation& s, TimeSeriesSampler& sam) -> Task<void> {
+    sam.start();
+    s.metrics().counter("bytes").add(10);
+    co_await s.delay(120 * us);
+    s.metrics().counter("bytes").add(32);
+    sam.stop();
+  }(sim, sampler));
+  sim.run();  // would hang (or assert) if the periodic task never exited
+  const auto& points = sampler.timeline();
+  ASSERT_GE(points.size(), 2u);
+  EXPECT_EQ(points.back().t_ns, 120 * us);
+  EXPECT_EQ(points.back().values[0], 42u);  // final sample sees the last add
+  // The pending tick fired after stop() without appending a sample.
+  EXPECT_GE(sim.now(), 120 * us);
+}
+
+TEST(SamplerTest, ProbesTrackCountersAndGaugesOverTime) {
+  Simulation sim;
+  TimeSeriesSampler sampler(sim, 100 * us);
+  sampler.watch_counter("written");
+  sampler.watch_gauge("depth");
+  sampler.add_probe("constant", [] { return 7ull; });
+  sim.spawn([](Simulation& s, TimeSeriesSampler& sam) -> Task<void> {
+    sam.start();
+    s.metrics().counter("written").add(100);
+    s.metrics().gauge("depth").set(3);
+    co_await s.delay(150 * us);
+    s.metrics().counter("written").add(200);
+    s.metrics().gauge("depth").set(1);
+    co_await s.delay(100 * us);
+    sam.stop();
+  }(sim, sampler));
+  sim.run();
+  ASSERT_EQ(sampler.series_names().size(), 3u);
+  const auto& points = sampler.timeline();
+  // t=100us sample: first adds visible; final sample: everything.
+  EXPECT_EQ(points[1].values[0], 100u);
+  EXPECT_EQ(points[1].values[1], 3u);
+  EXPECT_EQ(points[1].values[2], 7u);
+  EXPECT_EQ(points.back().values[0], 300u);
+  EXPECT_EQ(points.back().values[1], 1u);
+}
+
+TEST(SamplerTest, CsvShape) {
+  Simulation sim;
+  TimeSeriesSampler sampler(sim, 100 * us);
+  sampler.watch_counter("a");
+  sampler.watch_counter("b");
+  sim.spawn([](Simulation& s, TimeSeriesSampler& sam) -> Task<void> {
+    sam.start();
+    s.metrics().counter("a").add(1);
+    s.metrics().counter("b").add(2);
+    co_await s.delay(100 * us);
+    sam.stop();
+  }(sim, sampler));
+  sim.run();
+  const std::string csv = sampler.to_csv();
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "t_ns,a,b");
+  EXPECT_NE(csv.find("\n0,0,0\n"), std::string::npos);
+  EXPECT_NE(csv.find("\n100000,1,2\n"), std::string::npos);
+}
+
+// The acceptance-criteria schema check: a report must carry the versioned
+// schema tag, counters, gauges with high-watermarks, histogram summaries
+// with p50/p95/p99, and (when a sampler is passed) a timeline.
+TEST(ReportTest, SchemaShape) {
+  Simulation sim;
+  TimeSeriesSampler sampler(sim, 100 * us);
+  sampler.watch_counter("net.tx_bytes");
+  sim.spawn([](Simulation& s, TimeSeriesSampler& sam) -> Task<void> {
+    sam.start();
+    s.metrics().counter("net.tx_bytes").add(4096);
+    s.metrics().gauge("kv.bytes").set(1024);
+    s.metrics().gauge("kv.bytes").sub(512);
+    for (int i = 1; i <= 100; ++i) {
+      s.metrics().histogram("net.rpc").record(
+          static_cast<std::uint64_t>(i) * 1000);
+    }
+    co_await s.delay(250 * us);
+    sam.stop();
+  }(sim, sampler));
+  sim.run();
+
+  const std::string report = report_json(sim, &sampler);
+  EXPECT_NE(report.find("\"schema\":\"hpcbb.report.v1\""), std::string::npos);
+  EXPECT_NE(report.find("\"sim_time_ns\":"), std::string::npos);
+  EXPECT_NE(report.find("\"counters\":"), std::string::npos);
+  EXPECT_NE(report.find("\"net.tx_bytes\":4096"), std::string::npos);
+  EXPECT_NE(report.find("\"gauges\":"), std::string::npos);
+  EXPECT_NE(report.find("\"value\":512"), std::string::npos);
+  EXPECT_NE(report.find("\"high_watermark\":1024"), std::string::npos);
+  EXPECT_NE(report.find("\"histograms\":"), std::string::npos);
+  EXPECT_NE(report.find("\"net.rpc\":"), std::string::npos);
+  for (const char* field :
+       {"\"count\":", "\"sum\":", "\"min\":", "\"max\":", "\"mean\":",
+        "\"p50\":", "\"p95\":", "\"p99\":"}) {
+    EXPECT_NE(report.find(field), std::string::npos) << field;
+  }
+  EXPECT_NE(report.find("\"timeline\":"), std::string::npos);
+  EXPECT_NE(report.find("\"series\":"), std::string::npos);
+  EXPECT_NE(report.find("\"points\":"), std::string::npos);
+}
+
+TEST(ReportTest, NoSamplerMeansNoTimeline) {
+  Simulation sim;
+  sim.metrics().counter("x").add(1);
+  const std::string report = report_json(sim);
+  EXPECT_NE(report.find("\"schema\":\"hpcbb.report.v1\""), std::string::npos);
+  EXPECT_EQ(report.find("\"timeline\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpcbb::obs

@@ -134,6 +134,40 @@ TEST(TraceTest, SummaryAggregatesByPrefix) {
   EXPECT_NE(summary.find("kv\tread\t1\t500"), std::string::npos);
 }
 
+// Regression: a span that *ends* at t=0 used to be indistinguishable from an
+// open span (end_ns == 0 was the open sentinel) and got clamped to now.
+TEST(TraceTest, SpanEndingAtTimeZeroIsClosed) {
+  Simulation sim;
+  TraceRecorder trace(sim);
+  sim.spawn([](Simulation& s, TraceRecorder& t) -> Task<void> {
+    const std::size_t span = t.begin("instant", "test", 0);
+    t.end(span);  // zero-duration span at t=0
+    co_await s.delay(1 * ms);
+  }(sim, trace));
+  sim.run();
+  ASSERT_EQ(trace.spans().size(), 1u);
+  EXPECT_EQ(trace.open_span_count(), 0u);
+  EXPECT_EQ(trace.spans()[0].end_ns, 0u);
+  // Chrome JSON must report dur 0, not 1 ms.
+  EXPECT_NE(trace.to_chrome_json().find("\"dur\":0"), std::string::npos);
+}
+
+TEST(TraceTest, OpIdEmittedInChromeArgs) {
+  Simulation sim;
+  TraceRecorder trace(sim);
+  sim.spawn([](Simulation& s, TraceRecorder& t) -> Task<void> {
+    const std::size_t span = t.begin("write", "kv", 1, /*op_id=*/42);
+    co_await s.delay(10 * us);
+    t.end(span);
+    t.record("plain", "kv", 2, 0, 5 * us);  // no op_id: no args field
+  }(sim, trace));
+  sim.run();
+  const std::string json = trace.to_chrome_json();
+  EXPECT_NE(json.find("\"args\":{\"op_id\":42}"), std::string::npos);
+  // Exactly one args field: spans without an op_id stay unannotated.
+  EXPECT_EQ(json.find("\"args\""), json.rfind("\"args\""));
+}
+
 TEST(TraceTest, ClearResets) {
   Simulation sim;
   TraceRecorder trace(sim);

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Pretty-print and diff hpcbb experiment reports (schema hpcbb.report.v1).
+
+Usage:
+    tools/report.py show report.json
+    tools/report.py diff baseline.json candidate.json
+
+`show` renders counters, gauges (with high-watermarks), and histogram
+summaries as aligned tables. `diff` compares two reports metric-by-metric
+and prints absolute and relative deltas, flagging metrics present in only
+one report. Exit status for `diff` is 0 even when values differ — it is a
+reporting tool, not a gate.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "hpcbb.report.v1"
+
+
+def load(path):
+    with open(path) as f:
+        report = json.load(f)
+    schema = report.get("schema")
+    if schema != SCHEMA:
+        sys.exit(f"{path}: unsupported schema {schema!r} (want {SCHEMA!r})")
+    return report
+
+
+def fmt_count(value):
+    if isinstance(value, float):
+        return f"{value:,.1f}"
+    return f"{value:,}"
+
+
+def fmt_ns(ns):
+    """Histograms in this codebase overwhelmingly record nanoseconds."""
+    if ns >= 1_000_000_000:
+        return f"{ns / 1e9:.3f}s"
+    if ns >= 1_000_000:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1_000:
+        return f"{ns / 1e3:.1f}us"
+    return f"{ns}ns"
+
+
+def show(report):
+    print(f"schema: {report['schema']}   sim_time: {fmt_ns(report['sim_time_ns'])}")
+
+    counters = report.get("counters", {})
+    if counters:
+        print("\ncounters:")
+        width = max(map(len, counters))
+        for name in sorted(counters):
+            print(f"  {name:<{width}}  {fmt_count(counters[name]):>16}")
+
+    gauges = report.get("gauges", {})
+    if gauges:
+        print("\ngauges:                                      value    high-watermark")
+        width = max(map(len, gauges))
+        for name in sorted(gauges):
+            g = gauges[name]
+            print(f"  {name:<{width}}  {fmt_count(g['value']):>16}  "
+                  f"{fmt_count(g['high_watermark']):>16}")
+
+    histograms = report.get("histograms", {})
+    if histograms:
+        print("\nhistograms:              count       mean        p50        p95        p99        max")
+        width = max(map(len, histograms))
+        for name in sorted(histograms):
+            h = histograms[name]
+            print(f"  {name:<{width}}  {h['count']:>8,}  "
+                  f"{fmt_ns(h['mean']):>9}  {fmt_ns(h['p50']):>9}  "
+                  f"{fmt_ns(h['p95']):>9}  {fmt_ns(h['p99']):>9}  "
+                  f"{fmt_ns(h['max']):>9}")
+
+    timeline = report.get("timeline")
+    if timeline:
+        points = timeline.get("points", [])
+        series = timeline.get("series", [])
+        print(f"\ntimeline: {len(points)} samples x {len(series)} series, "
+              f"interval {fmt_ns(timeline.get('interval_ns', 0))}")
+
+
+def delta_line(name, a, b, width):
+    if a == b:
+        return None
+    diff = b - a
+    rel = f" ({diff / a:+.1%})" if a else ""
+    return (f"  {name:<{width}}  {fmt_count(a):>16} -> {fmt_count(b):>16}"
+            f"  {diff:+,}{rel}")
+
+
+def diff_section(title, left, right, values):
+    """values: name -> (a, b) extractor over the two dicts."""
+    names = sorted(set(left) | set(right))
+    if not names:
+        return
+    width = max(map(len, names))
+    lines = []
+    for name in names:
+        if name not in left:
+            lines.append(f"  {name:<{width}}  only in candidate")
+            continue
+        if name not in right:
+            lines.append(f"  {name:<{width}}  only in baseline")
+            continue
+        line = delta_line(name, *values(left[name], right[name]), width)
+        if line:
+            lines.append(line)
+    if lines:
+        print(f"\n{title}:")
+        print("\n".join(lines))
+
+
+def diff(baseline, candidate):
+    print(f"baseline sim_time {fmt_ns(baseline['sim_time_ns'])}, "
+          f"candidate sim_time {fmt_ns(candidate['sim_time_ns'])}")
+    diff_section("counters", baseline.get("counters", {}),
+                 candidate.get("counters", {}), lambda a, b: (a, b))
+    diff_section("gauges (value)", baseline.get("gauges", {}),
+                 candidate.get("gauges", {}),
+                 lambda a, b: (a["value"], b["value"]))
+    diff_section("histograms (p50)", baseline.get("histograms", {}),
+                 candidate.get("histograms", {}),
+                 lambda a, b: (a["p50"], b["p50"]))
+    diff_section("histograms (p99)", baseline.get("histograms", {}),
+                 candidate.get("histograms", {}),
+                 lambda a, b: (a["p99"], b["p99"]))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_show = sub.add_parser("show", help="pretty-print one report")
+    p_show.add_argument("report")
+    p_diff = sub.add_parser("diff", help="compare two reports")
+    p_diff.add_argument("baseline")
+    p_diff.add_argument("candidate")
+    args = parser.parse_args()
+
+    if args.command == "show":
+        show(load(args.report))
+    else:
+        diff(load(args.baseline), load(args.candidate))
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.exit(0)
