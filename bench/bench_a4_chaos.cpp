@@ -1,0 +1,305 @@
+// A4 — chaos: DFSIO and Sort under rolling KV-server crashes/restarts plus
+// transient RPC drop/delay faults, per burst-buffer scheme, with the full
+// resilience stack enabled (RPC retry, heartbeat failure detection, ring
+// failover, degraded-mode write-through).
+//
+// Reported per scheme (and as hpcbb.bench.v1 JSON):
+//   * data loss: blocks lost / recovered, files fully readable after chaos
+//     (the FT schemes must report zero loss and every file readable);
+//   * degraded-vs-healthy throughput: the same workload on a healthy
+//     cluster with identical resilience settings is the baseline;
+//   * recovery time: total time the master spent in degraded mode
+//     (suspicion to all-peers-live), from bb.degraded_window_ns;
+//   * resilience counters: retry attempts/recoveries, ring failovers,
+//     server restarts, injected faults.
+//
+// Accepts key=value overrides (e.g. smoke=1 faults.seed=7 files=4). The
+// whole chaos schedule is deterministic in faults.seed.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "faults/injector.h"
+#include "net/retry.h"
+
+namespace {
+
+using namespace hpcbb;          // NOLINT
+using hpcbb::bench::Cluster;
+using hpcbb::bench::ClusterConfig;
+using sim::SimTime;
+using sim::Task;
+
+struct ChaosKnobs {
+  bool smoke = false;
+  std::uint32_t files = 8;
+  std::uint64_t file_size = 64 * MiB;
+  std::uint64_t records_per_file = 80000;  // 8 MiB of sort input per file
+  faults::InjectorParams faults;
+};
+
+ChaosKnobs knobs_from(const Properties& props) {
+  ChaosKnobs k;
+  k.smoke = props.get_bool_or("smoke", false);
+  if (k.smoke) {
+    k.files = 2;
+    k.file_size = 8 * MiB;
+    k.records_per_file = 10000;
+  }
+  k.files = static_cast<std::uint32_t>(props.get_u64_or("files", k.files));
+  k.file_size = props.get_u64_or("file.size", k.file_size);
+  k.records_per_file =
+      props.get_u64_or("sort.records", k.records_per_file);
+
+  faults::InjectorParams faults;
+  faults.enabled = true;
+  faults.seed = 1;
+  faults.rpc_drop_prob = 0.002;
+  faults.rpc_delay_prob = 0.01;
+  faults.rpc_delay_ns = 1 * duration::ms;
+  faults.crash_first_ns = k.smoke ? 4 * duration::ms : 60 * duration::ms;
+  faults.crash_period_ns = k.smoke ? 0 : 500 * duration::ms;
+  faults.crash_downtime_ns =
+      k.smoke ? 50 * duration::ms : 200 * duration::ms;
+  faults.crash_count = k.smoke ? 1 : 2;
+  k.faults = faults::InjectorParams::from_properties(props, faults);
+  return k;
+}
+
+// Chaos and healthy runs share identical resilience settings; only the
+// injector differs, so the throughput delta is attributable to the faults.
+ClusterConfig base_config(bb::Scheme scheme, const Properties& props) {
+  ClusterConfig config = hpcbb::bench::default_config(scheme);
+  net::RetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.timeout_ns = 20 * duration::ms;
+  config.retry = net::RetryPolicy::from_properties(props, retry);
+  config.kv_client.failover = true;
+  config.bb_heartbeat_interval_ns =
+      props.get_duration_ns_or("bb.heartbeat", 10 * duration::ms);
+  return config;
+}
+
+struct Outcome {
+  bool write_ok = false;
+  double write_mbps = 0;
+  double read_mbps = 0;
+  std::uint64_t blocks_lost = 0;
+  std::uint64_t blocks_recovered = 0;
+  std::uint32_t files_readable = 0;
+  std::uint32_t files_total = 0;
+  double recovery_s = 0;
+  std::uint64_t degraded_windows = 0;
+  std::uint64_t retry_attempts = 0;
+  std::uint64_t retry_recovered = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t faults_injected = 0;
+  double sort_s = 0;
+  bool sorted = false;
+};
+
+Task<void> chaos_task(Cluster& c, const ChaosKnobs& k, Outcome& out) {
+  const auto kind = cluster::FsKind::kBurstBuffer;
+  sim::Simulation& sim = c.sim();
+
+  // Phase 1: DFSIO write burst (the crash schedule fires mid-burst).
+  mapred::DfsioParams dfsio;
+  dfsio.files = k.files;
+  dfsio.file_size = k.file_size;
+  dfsio.verify_on_read = true;
+  auto write_result = co_await mapred::dfsio_write(
+      c.filesystem(kind), c.hub_for(kind), c.compute_nodes(), dfsio);
+  out.write_ok = write_result.is_ok();
+  if (write_result.is_ok()) {
+    out.write_mbps = write_result.value().aggregate_mbps;
+  }
+  co_await c.bb_master().wait_all_flushed();
+  out.blocks_lost = c.bb_master().lost_blocks();
+  out.blocks_recovered = c.bb_master().recovered_blocks();
+
+  // Phase 2: verified read-back of every file, from rotated nodes.
+  out.files_total = k.files;
+  const SimTime read_start = sim.now();
+  std::uint64_t read_bytes = 0;
+  for (std::uint32_t i = 0; i < k.files; ++i) {
+    const std::string path = dfsio.dir + "/io_file_" + std::to_string(i);
+    auto reader = co_await c.filesystem(kind).open(
+        path, c.compute_nodes()[(i + 1) % c.compute_nodes().size()]);
+    if (!reader.is_ok()) continue;
+    bool all_ok = true;
+    const std::uint64_t size = reader.value()->size();
+    for (std::uint64_t off = 0; off < size && all_ok; off += 4 * MiB) {
+      const std::uint64_t len = std::min<std::uint64_t>(4 * MiB, size - off);
+      auto data = co_await reader.value()->read(off, len);
+      all_ok = data.is_ok() &&
+               verify_pattern(fnv1a(path), off, data.value());
+      if (all_ok) read_bytes += len;
+    }
+    if (all_ok) ++out.files_readable;
+  }
+  const SimTime read_ns = sim.now() - read_start;
+  out.read_mbps = read_ns == 0
+                      ? 0
+                      : static_cast<double>(read_bytes) / MiB /
+                            (static_cast<double>(read_ns) / duration::sec);
+
+  // Phase 3: Sort with the fault schedule still armed (RPC faults apply to
+  // the whole run; later crashes land here in the full schedule).
+  mapred::GenerateParams gen;
+  gen.files = k.files;
+  gen.records_per_file = k.records_per_file;
+  auto generated = co_await mapred::generate_records_input(
+      c.filesystem(kind), c.hub_for(kind), c.compute_nodes(), gen);
+  if (generated.is_ok()) {
+    std::vector<std::string> inputs;
+    for (std::uint32_t i = 0; i < k.files; ++i) {
+      inputs.push_back(gen.dir + "/part-" + std::to_string(i));
+    }
+    auto runner = c.make_runner(kind);
+    mapred::SortJob job(8);
+    const SimTime sort_start = sim.now();
+    auto stats = co_await runner->run(job, inputs, "/out/chaos_sort");
+    if (stats.is_ok()) {
+      out.sort_s = ns_to_sec(sim.now() - sort_start);
+      auto reader = co_await c.filesystem(kind).open("/out/chaos_sort/part-0",
+                                                     c.compute_nodes()[0]);
+      if (reader.is_ok()) {
+        auto data = co_await reader.value()->read(0, reader.value()->size());
+        out.sorted = data.is_ok() && mapred::records_sorted(data.value());
+      }
+    }
+  }
+
+  co_await c.bb_master().wait_all_flushed();
+
+  // Let the cluster heal before stopping the prober: the recovery-time
+  // measurement needs the last scheduled restart plus a successful probe
+  // round, even when the workload finishes inside the downtime window.
+  const faults::InjectorParams& f = c.injector().params();
+  const SimTime schedule_end =
+      f.crash_first_ns +
+      (f.crash_count > 0 ? f.crash_count - 1 : 0) * f.crash_period_ns +
+      f.crash_downtime_ns;
+  if (f.enabled && sim.now() < schedule_end) {
+    co_await sim.delay_until(schedule_end);
+  }
+  const SimTime probe = c.config().bb_heartbeat_interval_ns;
+  for (int i = 0; i < 10 && c.bb_master().degraded() && probe > 0; ++i) {
+    co_await sim.delay(probe);
+  }
+  c.bb_master().stop_heartbeat();
+}
+
+void collect_counters(Cluster& c, Outcome& out) {
+  MetricRegistry& metrics = c.sim().metrics();
+  out.retry_attempts = metrics.counter_value("net.retry.attempts");
+  out.retry_recovered = metrics.counter_value("net.retry.recovered");
+  out.failovers = metrics.counter_value("kv.failover.get") +
+                  metrics.counter_value("kv.failover.set");
+  out.restarts = metrics.counter_value("kv.restarts");
+  for (const auto& [name, value] : metrics.counters()) {
+    if (name.rfind("faults.injected", 0) == 0) out.faults_injected += value;
+  }
+  const auto histograms = metrics.histograms();
+  if (const auto it = histograms.find("bb.degraded_window_ns");
+      it != histograms.end()) {
+    out.recovery_s = ns_to_sec(it->second.sum);
+    out.degraded_windows = it->second.count;
+  }
+}
+
+Outcome run_scheme(bb::Scheme scheme, const Properties& props,
+                   const ChaosKnobs& k, bool with_faults) {
+  ClusterConfig config = base_config(scheme, props);
+  if (with_faults) config.faults = k.faults;
+  Cluster cluster(config);
+  Outcome outcome;
+  hpcbb::bench::run_to_completion(cluster,
+                                  chaos_task(cluster, k, outcome));
+  collect_counters(cluster, outcome);
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Properties props;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::fprintf(stderr, "usage: %s [key=value ...]\n", argv[0]);
+      return 2;
+    }
+    props.set(arg.substr(0, eq), arg.substr(eq + 1));
+  }
+  const ChaosKnobs knobs = knobs_from(props);
+
+  hpcbb::bench::print_header(
+      "A4",
+      "chaos: DFSIO + Sort under rolling KV crashes and transient RPC faults",
+      "FT schemes lose nothing and stay readable; throughput degrades "
+      "bounded; the cluster recovers within the downtime window");
+  std::printf("faults: seed=%llu drop=%.4f delay=%.4f crashes=%u "
+              "(downtime %.0fms)%s\n",
+              static_cast<unsigned long long>(knobs.faults.seed),
+              knobs.faults.rpc_drop_prob, knobs.faults.rpc_delay_prob,
+              knobs.faults.crash_count,
+              static_cast<double>(knobs.faults.crash_downtime_ns) /
+                  hpcbb::duration::ms,
+              knobs.smoke ? "  [smoke]" : "");
+  hpcbb::bench::JsonResult result(
+      "a4", "chaos: DFSIO + Sort under rolling crashes and RPC faults");
+
+  std::printf("\n%-10s %5s %5s %9s %9s %7s %8s %8s %7s %7s %6s\n",
+              "scheme", "lost", "recov", "readable", "wr-deg%", "rd-deg%",
+              "recov-s", "retries", "failov", "sort-s", "sorted");
+  for (const bb::Scheme scheme :
+       {bb::Scheme::kAsync, bb::Scheme::kSync, bb::Scheme::kLocal}) {
+    const Outcome healthy = run_scheme(scheme, props, knobs, false);
+    const Outcome chaos = run_scheme(scheme, props, knobs, true);
+    const std::string label(to_string(scheme));
+    const double wr_frac = hpcbb::bench::ratio(chaos.write_mbps,
+                                               healthy.write_mbps);
+    const double rd_frac = hpcbb::bench::ratio(chaos.read_mbps,
+                                               healthy.read_mbps);
+    std::printf("%-10s %5llu %5llu %6u/%-2u %8.0f%% %6.0f%% %8.3f %8llu "
+                "%7llu %7.2f %6s\n",
+                label.c_str(),
+                static_cast<unsigned long long>(chaos.blocks_lost),
+                static_cast<unsigned long long>(chaos.blocks_recovered),
+                chaos.files_readable, chaos.files_total, 100.0 * wr_frac,
+                100.0 * rd_frac, chaos.recovery_s,
+                static_cast<unsigned long long>(chaos.retry_attempts),
+                static_cast<unsigned long long>(chaos.failovers),
+                chaos.sort_s, chaos.sorted ? "yes" : "NO");
+    result.add("blocks-lost", label, static_cast<double>(chaos.blocks_lost));
+    result.add("blocks-recovered", label,
+               static_cast<double>(chaos.blocks_recovered));
+    result.add("files-readable", label,
+               static_cast<double>(chaos.files_readable));
+    result.add("write-healthy-mbps", label, healthy.write_mbps);
+    result.add("write-chaos-mbps", label, chaos.write_mbps);
+    result.add("read-healthy-mbps", label, healthy.read_mbps);
+    result.add("read-chaos-mbps", label, chaos.read_mbps);
+    result.add("recovery-s", label, chaos.recovery_s);
+    result.add("degraded-windows", label,
+               static_cast<double>(chaos.degraded_windows));
+    result.add("retry-attempts", label,
+               static_cast<double>(chaos.retry_attempts));
+    result.add("retry-recovered", label,
+               static_cast<double>(chaos.retry_recovered));
+    result.add("failovers", label, static_cast<double>(chaos.failovers));
+    result.add("kv-restarts", label, static_cast<double>(chaos.restarts));
+    result.add("faults-injected", label,
+               static_cast<double>(chaos.faults_injected));
+    result.add("sort-chaos-s", label, chaos.sort_s);
+    result.add("sort-sorted", label, chaos.sorted ? 1.0 : 0.0);
+  }
+  std::printf("\n(wr/rd-deg%% = chaos throughput as a fraction of the "
+              "healthy run with identical resilience settings)\n");
+  result.write();
+  return 0;
+}

@@ -39,8 +39,10 @@ FaultOutcome run_scheme(bb::Scheme scheme) {
                            c.config().block_size;
         out.files_total = params.files;
 
-        // Crash one of the KV servers the moment the burst is acked.
-        c.kv_server(0).crash();
+        // Crash one of the KV servers the moment the burst is acked. Routed
+        // through the fault injector so the crash is counted and traced
+        // (faults.injected{kind=crash}) like any scheduled fault.
+        c.injector().crash_target(0);
         co_await c.bb_master().wait_all_flushed();
         out.blocks_lost = c.bb_master().lost_blocks();
         out.blocks_recovered = c.bb_master().recovered_blocks();

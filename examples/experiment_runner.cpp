@@ -13,6 +13,10 @@
 // bb.promote={0,1}, trace.out=<path>, metrics.out=<path> (JSON report,
 // schema hpcbb.report.v1), timeline.out=<path> (CSV time series),
 // stats.interval=<duration> (sampling period, e.g. 100ms; default 100ms).
+// Resilience (DESIGN.md §10, all off by default): net.retry.* (RPC retry
+// policy), kv.failover={0,1}, bb.heartbeat=<duration> (failure detector,
+// 0 = off), bb.suspect_after / bb.dead_after, and faults.* (deterministic
+// fault injection) — see examples/example.conf for the full key list.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -81,6 +85,19 @@ int main(int argc, char** argv) {
   // flow-control subsystem (capacity is derived from the KV fleet size).
   config.bb_flowctl =
       flowctl::FlowControlParams::from_properties(props, config.bb_flowctl);
+  // Resilience: RPC retry policy, KV ring failover, the master's heartbeat
+  // failure detector, and the seed-driven fault injector. Everything
+  // defaults off, keeping unconfigured runs identical to the seed.
+  config.retry = net::RetryPolicy::from_properties(props, config.retry);
+  config.kv_client.failover =
+      props.get_bool_or("kv.failover", config.kv_client.failover);
+  config.bb_heartbeat_interval_ns =
+      props.get_duration_ns_or("bb.heartbeat", config.bb_heartbeat_interval_ns);
+  config.bb_suspect_after = static_cast<std::uint32_t>(
+      props.get_u64_or("bb.suspect_after", config.bb_suspect_after));
+  config.bb_dead_after = static_cast<std::uint32_t>(
+      props.get_u64_or("bb.dead_after", config.bb_dead_after));
+  config.faults = faults::InjectorParams::from_properties(props, config.faults);
   const std::string scheme = props.get_or("bb.scheme", "async");
   config.scheme = scheme == "sync"    ? bb::Scheme::kSync
                   : scheme == "local" ? bb::Scheme::kLocal
@@ -110,7 +127,8 @@ int main(int argc, char** argv) {
   for (const char* counter :
        {"net.tx_bytes", "net.rpc.calls", "kv.hits", "kv.misses",
         "kv.put_bytes", "kv.evictions", "lustre.write_bytes",
-        "lustre.read_bytes", "hdfs.dn.write_bytes", "flowctl.stalls"}) {
+        "lustre.read_bytes", "hdfs.dn.write_bytes", "flowctl.stalls",
+        "net.retry.attempts", "kv.failover.set"}) {
     sampler.watch_counter(counter);
   }
   for (const char* gauge :
@@ -140,6 +158,7 @@ int main(int argc, char** argv) {
     if (!w.is_ok()) {
       std::printf("write failed: %s\n", w.status().to_string().c_str());
       sam.stop();
+      c.bb_master().stop_heartbeat();
       co_return;
     }
     out.write = w.value();
@@ -151,12 +170,14 @@ int main(int argc, char** argv) {
     if (!r.is_ok()) {
       std::printf("read failed: %s\n", r.status().to_string().c_str());
       sam.stop();
+      c.bb_master().stop_heartbeat();
       co_return;
     }
     out.read = r.value();
     // Workload done: final sample at quiescence; the sampler's pending tick
-    // exits and the event queue can drain.
+    // exits, the heartbeat prober stops, and the event queue can drain.
     sam.stop();
+    c.bb_master().stop_heartbeat();
   }(cluster, kind, workload, results, sampler));
   cluster.sim().run();
 

@@ -17,7 +17,7 @@ class BbWriter final : public fs::Writer {
       : bbfs_(&bbfs),
         path_(std::move(path)),
         client_(client),
-        kv_(*bbfs.hub_, client, bbfs.kv_servers_),
+        kv_(*bbfs.hub_, client, bbfs.kv_servers_, bbfs.params_.kv_client),
         lustre_(*bbfs.hub_, bbfs.lustre_mds_),
         window_(bbfs.hub_->transport().fabric().simulation(),
                 bbfs.params_.write_window) {
@@ -77,11 +77,20 @@ class BbWriter final : public fs::Writer {
  private:
   sim::Task<Status> start_block() {
     auto req = std::make_shared<const BbAddBlockRequest>(
-        BbAddBlockRequest{path_, client_});
+        BbAddBlockRequest{path_, client_, blocks_added_});
     auto result = co_await bbfs_->hub_->call<BbAddBlockReply>(
         client_, bbfs_->master_node_, kBbAddBlock, req);
     if (!result.is_ok()) co_return result.status();
     block_index_ = result.value()->block_index;
+    ++blocks_added_;
+    // Write-through when the scheme demands it (BB-Sync) or the master is
+    // degraded and wants durability established on the write path. Only the
+    // degraded (master-signalled) flavour treats the buffer copy as
+    // optional: BB-Sync on a healthy cluster keeps its strict contract that
+    // the write path requires the buffer tier.
+    buffer_optional_ = result.value()->write_through;
+    write_through_ =
+        bbfs_->params_.scheme == Scheme::kSync || buffer_optional_;
     block_bytes_ = 0;
     block_crc_ = 0;
     next_chunk_ = 0;
@@ -117,7 +126,10 @@ class BbWriter final : public fs::Writer {
                               std::uint64_t chunk_offset, BytesPtr payload) {
     const BbFsParams& p = bbfs_->params_;
     const std::string key = chunk_key(path_, block_index_, chunk_index);
-    const bool pin = p.scheme != Scheme::kSync;
+    // Write-through blocks (BB-Sync or degraded mode) are durable on Lustre
+    // before the ack, so their buffer copies are evictable cache data.
+    const bool wt = write_through_;
+    const bool pin = !wt;
 
     // Store into the burst buffer, backing off while it is full of
     // not-yet-durable data.
@@ -151,6 +163,13 @@ class BbWriter final : public fs::Writer {
           .histogram("flowctl.writer_backoff_ns")
           .record(simref.now() - store_start);
     }
+    if (!st.is_ok() && buffer_optional_) {
+      // Degraded write-through: Lustre establishes durability below, so a
+      // failed buffer store (e.g. the chunk's owner crashed mid-burst) is
+      // tolerated — the block just loses its cache copy.
+      simref.metrics().counter("bb.store.buffer_skips").add();
+      st = Status::ok();
+    }
     if (st.is_ok() && agent_ != nullptr) {
       // BB-Local: second copy on the writer's RAM disk (position-addressed,
       // chunk stores may complete out of order).
@@ -163,7 +182,7 @@ class BbWriter final : public fs::Writer {
         st = Status::ok();
       }
     }
-    if (st.is_ok() && p.scheme == Scheme::kSync) {
+    if (st.is_ok() && wt) {
       st = co_await write_through(chunk_offset, std::move(payload));
     }
     if (!st.is_ok() && first_error_.is_ok()) first_error_ = st;
@@ -196,7 +215,7 @@ class BbWriter final : public fs::Writer {
     req->block_index = block_index_;
     req->size = block_bytes_;
     req->crc32c = block_crc_;
-    req->already_durable = bbfs_->params_.scheme == Scheme::kSync;
+    req->already_durable = write_through_;
     req->op_id = op_id_;
     if (agent_ != nullptr && local_replica_ok_) {
       req->local_node = client_;
@@ -223,6 +242,14 @@ class BbWriter final : public fs::Writer {
 
   bool block_open_ = false;
   bool local_replica_ok_ = true;
+  // Blocks successfully added by THIS writer — the idempotency cursor sent
+  // as expected_index so a retried AddBlock never allocates twice.
+  std::uint32_t blocks_added_ = 0;
+  // Latched per block at start_block: BB-Sync always, or degraded mode.
+  bool write_through_ = false;
+  // Master-signalled degraded mode: the buffer copy is best-effort because
+  // Lustre write-through establishes durability.
+  bool buffer_optional_ = false;
   std::uint32_t block_index_ = 0;
   std::uint64_t op_id_ = 0;
   std::size_t block_span_ = 0;
@@ -244,7 +271,7 @@ class BbReader final : public fs::Reader {
       : bbfs_(&bbfs),
         path_(std::move(path)),
         client_(client),
-        kv_(*bbfs.hub_, client, bbfs.kv_servers_),
+        kv_(*bbfs.hub_, client, bbfs.kv_servers_, bbfs.params_.kv_client),
         lustre_(*bbfs.hub_, bbfs.lustre_mds_),
         meta_(std::move(meta)) {}
 
@@ -407,7 +434,8 @@ class BbReader final : public fs::Reader {
   static sim::Task<void> promote_chunk(BurstBufferFileSystem* bbfs,
                                        net::NodeId client, std::string key,
                                        BytesPtr payload) {
-    kv::Client kv(*bbfs->hub_, client, bbfs->kv_servers_);
+    kv::Client kv(*bbfs->hub_, client, bbfs->kv_servers_,
+                  bbfs->params_.kv_client);
     (void)co_await kv.set(std::move(key), std::move(payload),
                           /*pinned=*/false);
   }
@@ -455,7 +483,10 @@ sim::Task<Result<BbLocationsReply>> BurstBufferFileSystem::locations(
 
 sim::Task<Result<std::unique_ptr<fs::Writer>>> BurstBufferFileSystem::create(
     const std::string& path, net::NodeId client) {
-  auto req = std::make_shared<const BbCreateRequest>(BbCreateRequest{path});
+  // Unique creation token: a retried Create after a lost reply matches the
+  // stored token and succeeds instead of reporting kAlreadyExists.
+  auto req = std::make_shared<const BbCreateRequest>(
+      BbCreateRequest{path, hub_->transport().fabric().simulation().next_op_id()});
   auto result = co_await hub_->call<void>(client, master_node_, kBbCreate,
                                           req);
   if (!result.is_ok()) co_return result.status();

@@ -37,6 +37,9 @@ struct BbFsParams {
   // data) so subsequent readers hit RDMA speed again. An extension of the
   // paper's design: the buffer doubles as a read cache for hot inputs.
   bool promote_on_read = false;
+  // Client config for writer/reader KV access (ring failover during
+  // outages); must match the Master's so flushers find failover chunks.
+  kv::ClientParams kv_client;
 };
 
 class BurstBufferFileSystem final : public fs::FileSystem {

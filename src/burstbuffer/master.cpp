@@ -65,10 +65,20 @@ Master::Master(net::RpcHub& hub, net::NodeId node,
     // Each worker acts from a KV server node (burst-buffer servers persist
     // their data to Lustre in the paper's deployment).
     flusher_clients_.push_back(std::make_unique<kv::Client>(
-        *hub_, kv_servers_[w % kv_servers_.size()], kv_servers_));
+        *hub_, kv_servers_[w % kv_servers_.size()], kv_servers_,
+        params_.kv_client));
     sim.spawn(flush_worker(w));
   }
   sim.spawn(evict_worker());
+
+  peer_health_.resize(kv_servers_.size());
+  if (params_.heartbeat_interval_ns > 0) {
+    probe_client_ = std::make_unique<kv::Client>(*hub_, node_, kv_servers_,
+                                                 params_.kv_client);
+    sim.metrics().gauge("bb.kv_live")
+        .set(static_cast<std::uint64_t>(kv_servers_.size()));
+    sim.spawn(heartbeat_worker());
+  }
 }
 
 Master::~Master() {
@@ -82,10 +92,105 @@ sim::Task<void> Master::charge_md_op() {
   return hub_->transport().fabric().charge_cpu(node_, params_.md_op_ns);
 }
 
+std::uint32_t Master::live_kv_count() const noexcept {
+  std::uint32_t live = 0;
+  for (const PeerHealth& h : peer_health_) live += h.state == PeerState::kLive;
+  return live;
+}
+
+std::uint32_t Master::suspect_kv_count() const noexcept {
+  std::uint32_t suspect = 0;
+  for (const PeerHealth& h : peer_health_) {
+    suspect += h.state == PeerState::kSuspect;
+  }
+  return suspect;
+}
+
+sim::Task<void> Master::heartbeat_worker() {
+  sim::Simulation& sim = hub_->transport().fabric().simulation();
+  for (;;) {
+    co_await sim.delay(params_.heartbeat_interval_ns);
+    if (heartbeat_stop_) co_return;
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(kv_servers_.size()); ++i) {
+      auto pong = co_await probe_client_->ping(kv_servers_[i]);
+      apply_probe_result(i, pong.is_ok(),
+                         pong.is_ok() ? pong.value().incarnation : 0);
+    }
+    update_health_mode();
+  }
+}
+
+void Master::apply_probe_result(std::uint32_t kv_index, bool reachable,
+                                std::uint64_t incarnation) {
+  sim::Simulation& sim = hub_->transport().fabric().simulation();
+  PeerHealth& health = peer_health_[kv_index];
+  if (reachable) {
+    // An incarnation bump means the server restarted empty: it rejoins the
+    // ring, but everything it held before the crash is gone.
+    const bool restarted =
+        health.incarnation != 0 && incarnation != health.incarnation;
+    if (restarted || health.state == PeerState::kDead) {
+      sim.metrics().counter("bb.detector.rejoined").add();
+      if (trace_ != nullptr) {
+        trace_->record("rejoin.kv" + std::to_string(kv_index), "bb",
+                       static_cast<std::uint32_t>(node_), sim.now(),
+                       sim.now());
+      }
+    }
+    health.incarnation = incarnation;
+    health.missed = 0;
+    health.state = PeerState::kLive;
+    return;
+  }
+  ++health.missed;
+  if (health.state == PeerState::kLive &&
+      health.missed >= params_.suspect_after) {
+    health.state = PeerState::kSuspect;
+    sim.metrics().counter("bb.detector.suspected").add();
+  }
+  if (health.state == PeerState::kSuspect &&
+      health.missed >= params_.dead_after) {
+    health.state = PeerState::kDead;
+    sim.metrics().counter("bb.detector.dead").add();
+  }
+}
+
+void Master::update_health_mode() {
+  sim::Simulation& sim = hub_->transport().fabric().simulation();
+  const std::uint32_t live = live_kv_count();
+  sim.metrics().gauge("bb.kv_live").set(live);
+  sim.metrics().gauge("bb.kv_suspect").set(suspect_kv_count());
+  const bool now_degraded =
+      live < static_cast<std::uint32_t>(kv_servers_.size());
+  if (now_degraded == degraded_) return;
+  degraded_ = now_degraded;
+  if (degraded_) {
+    degraded_since_ = sim.now();
+    sim.metrics().counter("bb.degraded.entered").add();
+    // At-risk dirty blocks must reach Lustre before another server fails:
+    // drop all flush pacing until the cluster is healthy again.
+    flowctl_.force_urgent(true);
+  } else {
+    // Recovery time: from first suspicion to all peers live again.
+    sim.metrics().histogram("bb.degraded_window_ns")
+        .record(sim.now() - degraded_since_);
+    flowctl_.force_urgent(false);
+  }
+  if (trace_ != nullptr) {
+    trace_->record(degraded_ ? "degraded.enter" : "degraded.exit", "bb",
+                   static_cast<std::uint32_t>(node_), sim.now(), sim.now());
+  }
+}
+
 sim::Task<net::RpcResponse> Master::handle_create(
     std::shared_ptr<const BbCreateRequest> req) {
   co_await charge_md_op();
-  if (files_.contains(req->path)) {
+  if (const auto it = files_.find(req->path); it != files_.end()) {
+    if (req->token != 0 && it->second.create_token == req->token) {
+      // Retransmitted create whose first reply was lost: already done.
+      co_return net::RpcResponse{Status::ok(), nullptr, kHeaderBytes};
+    }
     co_return net::rpc_error(
         error(StatusCode::kAlreadyExists, "file exists: " + req->path));
   }
@@ -96,6 +201,7 @@ sim::Task<net::RpcResponse> Master::handle_create(
   if (!layout.is_ok()) co_return net::rpc_error(layout.status());
   FileMeta meta;
   meta.lustre_layout = std::move(layout).value();
+  meta.create_token = req->token;
   files_[req->path] = std::move(meta);
   co_return net::RpcResponse{Status::ok(), nullptr, kHeaderBytes};
 }
@@ -112,6 +218,17 @@ sim::Task<net::RpcResponse> Master::handle_add_block(
     co_return net::rpc_error(
         error(StatusCode::kFailedPrecondition, "file is closed"));
   }
+  if (req->expected_index != kAnyBlockIndex &&
+      req->expected_index < it->second.blocks.size()) {
+    // The writer expects an index this (single-writer) file already has:
+    // a retransmitted AddBlock. Return the existing block — allocating a
+    // fresh one would orphan a hole in the middle of the file.
+    auto reply = std::make_shared<BbAddBlockReply>();
+    reply->block_index = req->expected_index;
+    reply->write_through = degraded_ && scheme_ != Scheme::kSync;
+    const std::uint64_t wire = reply->wire_size();
+    co_return net::rpc_ok<BbAddBlockReply>(std::move(reply), wire);
+  }
   // Credit-based admission: may evict clean blocks, may stall (but never
   // reject) under memory pressure.
   (void)co_await flowctl_.admit(params_.block_size);
@@ -124,6 +241,9 @@ sim::Task<net::RpcResponse> Master::handle_add_block(
   }
   auto reply = std::make_shared<BbAddBlockReply>();
   reply->block_index = static_cast<std::uint32_t>(it2->second.blocks.size());
+  // Suspect/dead KV servers: have the writer establish durability on the
+  // write path instead of trusting the buffer to survive until flush.
+  reply->write_through = degraded_ && scheme_ != Scheme::kSync;
   BbBlockInfo block;
   block.index = reply->block_index;
   block.reservation_held = flowctl_.enabled();
@@ -144,6 +264,11 @@ sim::Task<net::RpcResponse> Master::handle_complete_block(
     co_return net::rpc_error(error(StatusCode::kNotFound, "no such block"));
   }
   BbBlockInfo& block = it->second.blocks[req->block_index];
+  if (block.state != BlockState::kOpen) {
+    // Only CompleteBlock moves a block out of kOpen, so this is a
+    // retransmission — the first one already settled the accounting.
+    co_return net::RpcResponse{Status::ok(), nullptr, kHeaderBytes};
+  }
   block.size = req->size;
   block.crc32c = req->crc32c;
   block.local_node = req->local_node;

@@ -34,7 +34,18 @@ struct MasterParams {
   // `buffer_capacity_bytes` at construction.
   std::uint64_t buffer_capacity_bytes = 0;
   flowctl::FlowControlParams flowctl;
+  // Heartbeat failure detector over the KV servers (0 interval = off, the
+  // seed behaviour). `suspect_after`/`dead_after` are consecutive missed
+  // probes; a suspect peer already triggers degraded mode.
+  sim::SimTime heartbeat_interval_ns = 0;
+  std::uint32_t suspect_after = 2;
+  std::uint32_t dead_after = 4;
+  // Client config for the flush workers (ring failover during outages).
+  kv::ClientParams kv_client;
 };
+
+// Failure-detector verdict for one KV server.
+enum class PeerState { kLive, kSuspect, kDead };
 
 // Scheme-aware flow-control policy: BB-Sync never accumulates dirty bytes
 // (durability is established on the write path), so its dirty-credit gate
@@ -86,6 +97,19 @@ class Master {
   // closed). Used by benchmarks and failure experiments.
   sim::Task<void> wait_all_flushed();
 
+  // Failure-detector introspection. With the detector off every peer reads
+  // kLive and the master never enters degraded mode.
+  [[nodiscard]] bool degraded() const noexcept { return degraded_; }
+  [[nodiscard]] PeerState peer_state(std::uint32_t kv_index) const {
+    return peer_health_[kv_index].state;
+  }
+  [[nodiscard]] std::uint32_t live_kv_count() const noexcept;
+  [[nodiscard]] std::uint32_t suspect_kv_count() const noexcept;
+  // Stop the periodic prober (it wakes at most once more). Harnesses call
+  // this when the measured phase ends so the simulation can run to
+  // quiescence — otherwise the probe timer keeps the event queue alive.
+  void stop_heartbeat() noexcept { heartbeat_stop_ = true; }
+
   // Memory-pressure management (watermarks, eviction, writer backpressure).
   [[nodiscard]] flowctl::CapacityController& flow_control() noexcept {
     return flowctl_;
@@ -107,7 +131,13 @@ class Master {
     std::vector<BbBlockInfo> blocks;
     lustre::FileLayout lustre_layout;
     std::uint64_t size = 0;
+    std::uint64_t create_token = 0;  // idempotency token of the create
     bool closed = false;
+  };
+  struct PeerHealth {
+    PeerState state = PeerState::kLive;
+    std::uint32_t missed = 0;       // consecutive failed probes
+    std::uint64_t incarnation = 0;  // last seen; 0 = never probed
   };
   struct FlushItem {
     std::string path;
@@ -130,6 +160,12 @@ class Master {
   sim::Task<net::RpcResponse> handle_list(std::shared_ptr<const BbListRequest>);
 
   sim::Task<void> charge_md_op();
+  // Periodic liveness probing of every KV server; drives the
+  // suspect -> dead -> rejoined lifecycle and degraded-mode transitions.
+  sim::Task<void> heartbeat_worker();
+  void apply_probe_result(std::uint32_t kv_index, bool reachable,
+                          std::uint64_t incarnation);
+  void update_health_mode();
   sim::Task<void> flush_worker(std::uint32_t worker_index);
   sim::Task<Status> flush_block(std::uint32_t worker_index,
                                 const FlushItem& item);
@@ -156,6 +192,11 @@ class Master {
   sim::Channel<FlushItem> flush_queue_;
   sim::Condition flush_done_;
   std::vector<std::unique_ptr<kv::Client>> flusher_clients_;
+  std::unique_ptr<kv::Client> probe_client_;  // heartbeat pings, from node_
+  std::vector<PeerHealth> peer_health_;
+  bool heartbeat_stop_ = false;
+  bool degraded_ = false;
+  sim::SimTime degraded_since_ = 0;
 
   // Enqueue/dequeue wrapper keeping the depth counter and the
   // `bb.flush_queue_depth` gauge in lock-step with flush_queue_.

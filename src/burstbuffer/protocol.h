@@ -35,8 +35,15 @@ enum class BlockState {
   kLost,      // dirty data lost with a crashed buffer server
 };
 
+// AddBlock sentinel: "writer makes no claim about the next index".
+inline constexpr std::uint32_t kAnyBlockIndex = 0xFFFFFFFFu;
+
 struct BbCreateRequest {
   std::string path;
+  // Idempotency token (nonzero): a retransmitted create whose first reply
+  // was lost matches the stored token and succeeds instead of
+  // kAlreadyExists.
+  std::uint64_t token = 0;
   [[nodiscard]] std::uint64_t wire_size() const {
     return kHeaderBytes + path.size();
   }
@@ -45,6 +52,11 @@ struct BbCreateRequest {
 struct BbAddBlockRequest {
   std::string path;
   net::NodeId writer = 0;
+  // The index the writer expects to receive (its count of blocks so far).
+  // Files are single-writer, so a request expecting an index the master
+  // already allocated is a retransmission — the master returns the existing
+  // block instead of allocating an orphan.
+  std::uint32_t expected_index = kAnyBlockIndex;
   [[nodiscard]] std::uint64_t wire_size() const {
     return kHeaderBytes + path.size();
   }
@@ -52,6 +64,10 @@ struct BbAddBlockRequest {
 
 struct BbAddBlockReply {
   std::uint32_t block_index = 0;
+  // Degraded mode: the master has suspect/dead KV servers, so the writer
+  // must establish durability on the write path (write through to Lustre,
+  // buffer copy best-effort) and seal with already_durable=true.
+  bool write_through = false;
   [[nodiscard]] std::uint64_t wire_size() const { return kHeaderBytes; }
 };
 

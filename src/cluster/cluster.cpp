@@ -21,6 +21,7 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
       *fabric_, net::transport_preset(config_.fast_transport));
   hdfs_hub_ = std::make_unique<net::RpcHub>(*hdfs_transport_);
   fast_hub_ = std::make_unique<net::RpcHub>(*fast_transport_);
+  fast_hub_->set_retry_policy(config_.retry);
 
   for (net::NodeId n = 0; n < config_.compute_nodes; ++n) {
     compute_nodes_.push_back(n);
@@ -96,6 +97,10 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   master_params.flowctl = config_.bb_flowctl;
   master_params.buffer_capacity_bytes =
       config_.kv_memory_per_server * config_.kv_servers;
+  master_params.heartbeat_interval_ns = config_.bb_heartbeat_interval_ns;
+  master_params.suspect_after = config_.bb_suspect_after;
+  master_params.dead_after = config_.bb_dead_after;
+  master_params.kv_client = config_.kv_client;
   bb_master_ = std::make_unique<bb::Master>(*fast_hub_, bb_master_node_,
                                             kv_nodes_, mds_node_,
                                             config_.scheme, master_params);
@@ -104,8 +109,40 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   bb_params.block_size = config_.block_size;
   bb_params.chunk_size = config_.chunk_size;
   bb_params.promote_on_read = config_.bb_promote_on_read;
+  bb_params.kv_client = config_.kv_client;
   bb_fs_ = std::make_unique<bb::BurstBufferFileSystem>(
       *fast_hub_, bb_master_node_, kv_nodes_, mds_node_, agent_map, bb_params);
+
+  // Fault injection: KV servers are crash targets (process dies, node drops
+  // off the fabric, restarts empty); OSS devices and KV journal SSDs are
+  // limpware targets. Passive unless config.faults.enabled.
+  injector_ = std::make_unique<faults::FaultInjector>(sim_, config_.faults);
+  injector_->arm_fabric(*fabric_);
+  for (std::uint32_t i = 0; i < config_.kv_servers; ++i) {
+    kv::Server* server = kv_servers_[i].get();
+    net::Fabric* fabric = fabric_.get();
+    const net::NodeId node = server->node();
+    injector_->add_crash_target(
+        "kv" + std::to_string(i),
+        [server, fabric, node] {
+          server->crash();
+          fabric->set_node_up(node, false);
+        },
+        [server, fabric, node] {
+          fabric->set_node_up(node, true);
+          server->restart();
+        });
+    if (storage::Device* journal = server->journal_device();
+        journal != nullptr) {
+      injector_->add_device_target("kv" + std::to_string(i) + ".journal",
+                                   journal);
+    }
+  }
+  for (std::uint32_t i = 0; i < config_.oss_count; ++i) {
+    injector_->add_device_target("oss" + std::to_string(i),
+                                 &osses_[i]->device());
+  }
+  injector_->start();
 }
 
 Cluster::~Cluster() = default;

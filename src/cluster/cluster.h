@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "burstbuffer/filesystem.h"
+#include "faults/injector.h"
 #include "flowctl/controller.h"
 #include "hdfs/client.h"
 #include "hdfs/datanode.h"
@@ -86,6 +87,23 @@ struct ClusterConfig {
 
   std::uint32_t hdfs_replication = 3;
   mapred::MrParams mapred;
+
+  // ---- resilience ----
+  // Retry policy installed on the fast (verbs) hub, covering KV, Lustre and
+  // burst-buffer RPCs. Default is a no-op (single attempt, no timeout), so
+  // baseline runs are byte-identical; HDFS keeps stock sockets behaviour.
+  net::RetryPolicy retry;
+  // KV client behaviour for BB writers/readers/flushers (ring failover
+  // during a server outage). Must stay consistent across all BB clients so
+  // failover writes land where failover reads look.
+  kv::ClientParams kv_client;
+  // BB master failure detector over the KV servers; 0 disables it.
+  sim::SimTime bb_heartbeat_interval_ns = 0;
+  std::uint32_t bb_suspect_after = 2;
+  std::uint32_t bb_dead_after = 4;
+  // Deterministic fault injection (disabled by default). Crash targets are
+  // the KV servers; limp targets are the OSS devices and KV journal SSDs.
+  faults::InjectorParams faults;
 };
 
 class Cluster {
@@ -136,6 +154,11 @@ class Cluster {
   [[nodiscard]] std::uint32_t oss_count() const noexcept {
     return static_cast<std::uint32_t>(osses_.size());
   }
+  // The fault injector, pre-wired with KV crash targets and OSS/journal
+  // device targets. Passive unless config.faults.enabled.
+  [[nodiscard]] faults::FaultInjector& injector() noexcept {
+    return *injector_;
+  }
 
   // Node-local storage consumed on compute node i (DataNode disk + BB RAM
   // disk) — the resource the paper's design conserves (experiment F9).
@@ -168,6 +191,7 @@ class Cluster {
   std::unique_ptr<hdfs::HdfsFileSystem> hdfs_fs_;
   std::unique_ptr<lustre::LustreFileSystem> lustre_fs_;
   std::unique_ptr<bb::BurstBufferFileSystem> bb_fs_;
+  std::unique_ptr<faults::FaultInjector> injector_;
 };
 
 }  // namespace hpcbb::cluster

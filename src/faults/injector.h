@@ -1,0 +1,133 @@
+// Deterministic, seed-driven fault injector.
+//
+// One injector owns every fault source in a run so a single `faults.seed`
+// reproduces the whole chaos schedule:
+//  * transient RPC faults — per-message drop / delay-spike decisions on the
+//    fabric, drawn from a dedicated stream (message order in the simulation
+//    is deterministic, so the decisions replay exactly);
+//  * rolling node crashes with restart after a configurable downtime,
+//    round-robin over registered crash targets;
+//  * "limpware" episodes — a registered device serves I/O at a fraction of
+//    its healthy rate for a bounded window, then recovers.
+//
+// Every injected fault emits a faults.injected{kind=...} counter tick and,
+// when tracing is enabled, an instant trace event in the "fault" category —
+// chaos runs are auditable after the fact, not just survivable.
+//
+// The injector is passive until start()/arm_fabric(); with `enabled` false
+// (the default) it does nothing at all, keeping healthy runs bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/properties.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "net/fabric.h"
+#include "sim/simulation.h"
+#include "sim/task.h"
+#include "storage/device.h"
+
+namespace hpcbb::faults {
+
+struct InjectorParams {
+  bool enabled = false;
+  std::uint64_t seed = 1;
+
+  // Transient per-message RPC faults (both directions of every RPC).
+  double rpc_drop_prob = 0.0;
+  double rpc_delay_prob = 0.0;
+  sim::SimTime rpc_delay_ns = 2 * duration::ms;
+
+  // Rolling crash/restart schedule, round-robin over crash targets.
+  sim::SimTime crash_first_ns = 0;  // 0 = no scheduled crashes
+  sim::SimTime crash_period_ns = 0;  // gap between crashes; 0 = just one
+  sim::SimTime crash_downtime_ns = 500 * duration::ms;  // 0 = stays down
+  std::uint32_t crash_count = 1;
+
+  // Limpware episodes, round-robin over device targets.
+  sim::SimTime limp_first_ns = 0;  // 0 = no episodes
+  sim::SimTime limp_period_ns = 0;
+  sim::SimTime limp_duration_ns = 200 * duration::ms;
+  double limp_factor = 8.0;
+  std::uint32_t limp_count = 1;
+
+  // Reads faults.* keys over built-in defaults:
+  //   faults.enabled, faults.seed
+  //   faults.rpc.drop_prob / delay_prob / delay (duration)
+  //   faults.crash.first / period / downtime (durations), faults.crash.count
+  //   faults.limp.first / period / duration (durations),
+  //   faults.limp.factor, faults.limp.count
+  static InjectorParams from_properties(const Properties& props,
+                                        InjectorParams defaults);
+  static InjectorParams from_properties(const Properties& props);
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulation& sim, const InjectorParams& params);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Register a node that scheduled crashes may take down. `crash` must make
+  // the node unreachable (fabric down + service stopped); `restart` must
+  // bring it back empty and reachable.
+  void add_crash_target(std::string name, std::function<void()> crash,
+                        std::function<void()> restart);
+
+  // Register a device that limpware episodes may degrade.
+  void add_device_target(std::string name, storage::Device* device);
+
+  // Install the per-message RPC fault hook on a fabric. No-op when disabled
+  // or when both probabilities are zero.
+  void arm_fabric(net::Fabric& fabric);
+
+  // Spawn the scheduled crash and limpware processes. Call once, after all
+  // targets are registered.
+  void start();
+
+  // Event-driven chaos: fire a registered target immediately, with the same
+  // counting and tracing as a scheduled fault. For harnesses that crash at
+  // a workload milestone ("right after the burst ack") rather than at a
+  // wall-clock offset; works whether or not schedules are enabled.
+  void crash_target(std::size_t index);
+  void restart_target(std::size_t index);
+  [[nodiscard]] std::size_t crash_target_count() const noexcept {
+    return crash_targets_.size();
+  }
+
+  [[nodiscard]] const InjectorParams& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] bool enabled() const noexcept { return params_.enabled; }
+
+ private:
+  struct CrashTarget {
+    std::string name;
+    std::function<void()> crash;
+    std::function<void()> restart;
+  };
+  struct DeviceTarget {
+    std::string name;
+    storage::Device* device;
+  };
+
+  sim::Task<void> crash_process();
+  sim::Task<void> limp_process();
+
+  // Count + trace one injected fault.
+  void note(const char* kind, const std::string& detail);
+
+  sim::Simulation* sim_;
+  InjectorParams params_;
+  Rng rpc_rng_;       // per-message decisions; advanced once per message
+  bool started_ = false;
+  std::vector<CrashTarget> crash_targets_;
+  std::vector<DeviceTarget> device_targets_;
+};
+
+}  // namespace hpcbb::faults

@@ -191,6 +191,7 @@ void CapacityController::publish_gauges() {
 }
 
 sim::SimTime CapacityController::flush_pace() const noexcept {
+  if (forced_urgent_) return 0;
   if (!enabled()) return 0;
   switch (band(reserved_ + dirty_)) {
     case Pressure::kNormal: return params_.background_pace_ns;
@@ -202,6 +203,10 @@ sim::SimTime CapacityController::flush_pace() const noexcept {
 }
 
 void CapacityController::note_flush_begin() {
+  if (forced_urgent_) {
+    sim_->metrics().counter("flowctl.urgent_flushes").add();
+    return;
+  }
   if (!enabled()) return;
   if (band(reserved_ + dirty_) >= Pressure::kUrgent) {
     sim_->metrics().counter("flowctl.urgent_flushes").add();

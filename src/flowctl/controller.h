@@ -150,6 +150,13 @@ class CapacityController {
   [[nodiscard]] sim::SimTime flush_pace() const noexcept;
   // Call when a flush starts; counts flowctl.urgent_flushes when escalated.
   void note_flush_begin();
+  // Failure-mode escalation: while set, flushers drain flat-out regardless
+  // of the pressure band — at-risk dirty blocks must reach Lustre before
+  // another buffer server fails. Driven by the BB master's failure
+  // detector; independent of the watermark machinery (works even when flow
+  // control is disabled).
+  void force_urgent(bool urgent) noexcept { forced_urgent_ = urgent; }
+  [[nodiscard]] bool forced_urgent() const noexcept { return forced_urgent_; }
 
   // ---- introspection ----
   [[nodiscard]] std::uint64_t reserved_bytes() const noexcept {
@@ -204,6 +211,7 @@ class CapacityController {
   std::uint32_t trace_track_;
   sim::TraceRecorder* trace_ = nullptr;
 
+  bool forced_urgent_ = false;
   std::uint64_t reserved_ = 0;
   std::uint64_t dirty_ = 0;
   std::uint64_t clean_ = 0;

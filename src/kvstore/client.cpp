@@ -24,8 +24,19 @@ sim::Task<Status> Client::set(std::string key, BytesPtr value,
                               bool pinned, std::uint64_t expiry_ns,
                               std::uint64_t op_id) {
   const net::NodeId server = server_for(key);
-  return set_on(server, std::move(key), std::move(value), pinned, expiry_ns,
-                op_id);
+  if (!params_.failover) {
+    co_return co_await set_on(server, std::move(key), std::move(value),
+                              pinned, expiry_ns, op_id);
+  }
+  const net::NodeId fallback = failover_server_for(key);
+  Status st = co_await set_on(server, key, value, pinned, expiry_ns, op_id);
+  if (st.code() == StatusCode::kUnavailable && fallback != server) {
+    hub_->transport().fabric().simulation().metrics()
+        .counter("kv.failover.set").add();
+    st = co_await set_on(fallback, std::move(key), std::move(value), pinned,
+                         expiry_ns, op_id);
+  }
+  co_return st;
 }
 
 sim::Task<Status> Client::set_on(net::NodeId server, std::string key,
@@ -56,7 +67,22 @@ sim::Task<Status> Client::set_on(net::NodeId server, std::string key,
 sim::Task<Result<BytesPtr>> Client::get(std::string key,
                                         std::uint64_t op_id) {
   const net::NodeId server = server_for(key);
-  return get_from(server, std::move(key), op_id);
+  if (!params_.failover) {
+    co_return co_await get_from(server, std::move(key), op_id);
+  }
+  const net::NodeId fallback = failover_server_for(key);
+  Result<BytesPtr> result = co_await get_from(server, key, op_id);
+  if (!result.is_ok() && fallback != server) {
+    const StatusCode code = result.status().code();
+    // kNotFound too: data written while the owner was down lives on the
+    // failover owner, and a restarted-empty owner misses on everything.
+    if (code == StatusCode::kUnavailable || code == StatusCode::kNotFound) {
+      hub_->transport().fabric().simulation().metrics()
+          .counter("kv.failover.get").add();
+      result = co_await get_from(fallback, std::move(key), op_id);
+    }
+  }
+  co_return result;
 }
 
 sim::Task<Result<BytesPtr>> Client::get_from(net::NodeId server,
@@ -126,6 +152,16 @@ sim::Task<Status> Client::pin_on(net::NodeId server, std::string key,
   auto req = std::make_shared<const PinRequest>(PinRequest{std::move(key), pinned});
   auto result = co_await hub_->call<void>(self_, server, kOpPin, req);
   co_return result.status();
+}
+
+sim::Task<Result<PingReply>> Client::ping(net::NodeId server) {
+  static const net::RetryPolicy kNoRetry{};
+  auto req = std::make_shared<const PingRequest>();
+  auto result = co_await hub_->call<PingReply>(
+      self_, server, kOpPing, req,
+      net::CallOptions{.idempotent = true, .policy = &kNoRetry});
+  if (!result.is_ok()) co_return result.status();
+  co_return *result.value();
 }
 
 sim::Task<Result<StatsReply>> Client::server_stats(

@@ -19,6 +19,11 @@ namespace hpcbb::kv {
 
 struct ClientParams {
   std::uint64_t rdma_threshold_bytes = 16 * KiB;
+  // Ring failover: when the owner of a key is unreachable, set()/get() try
+  // the next server on the ring (get() also on miss, since data written
+  // during an outage lives on the failover owner). Off by default: healthy
+  // runs must not pay an extra round trip for every true miss.
+  bool failover = false;
 };
 
 class Client {
@@ -41,6 +46,10 @@ class Client {
   sim::Task<Status> erase(std::string key);
   sim::Task<Status> pin(std::string key, bool pinned);
   sim::Task<Result<StatsReply>> server_stats(std::uint32_t server_index);
+
+  // Liveness probe for failure detectors. Never retried at the RPC layer —
+  // a probe that needs retries is exactly the signal the detector wants.
+  sim::Task<Result<PingReply>> ping(net::NodeId server);
 
   [[nodiscard]] net::NodeId server_for(const std::string& key) const {
     return servers_[ring_.server_for(key)];

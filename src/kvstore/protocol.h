@@ -92,6 +92,19 @@ struct StatsRequest {
   [[nodiscard]] std::uint64_t wire_size() const { return kMsgHeaderBytes; }
 };
 
+// Liveness probe for failure detection. The reply's incarnation number is
+// bumped on every restart, so a monitor can tell "still the server I knew"
+// from "came back empty" without comparing contents.
+struct PingRequest {
+  [[nodiscard]] std::uint64_t wire_size() const { return kMsgHeaderBytes; }
+};
+
+struct PingReply {
+  std::uint64_t incarnation = 0;
+
+  [[nodiscard]] std::uint64_t wire_size() const { return kMsgHeaderBytes + 8; }
+};
+
 struct StatsReply {
   std::uint64_t items = 0;
   std::uint64_t bytes = 0;
@@ -111,5 +124,6 @@ inline constexpr net::Port kOpMultiGet = kKvServerPort + 2;
 inline constexpr net::Port kOpErase = kKvServerPort + 3;
 inline constexpr net::Port kOpPin = kKvServerPort + 4;
 inline constexpr net::Port kOpStats = kKvServerPort + 5;
+inline constexpr net::Port kOpPing = kKvServerPort + 6;
 
 }  // namespace hpcbb::kv

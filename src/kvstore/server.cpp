@@ -11,6 +11,14 @@ Server::Server(net::RpcHub& hub, net::NodeId node, const ServerParams& params)
     journal_ = std::make_unique<storage::Device>(
         hub_->transport().fabric().simulation(), params_.journal);
   }
+  bind_all();
+}
+
+Server::~Server() {
+  if (!crashed_) unbind_all();
+}
+
+void Server::bind_all() {
   hub_->bind(node_, kOpSet, net::typed_handler<SetRequest>(
                                 [this](auto req) { return handle_set(req); }));
   hub_->bind(node_, kOpGet, net::typed_handler<GetRequest>(
@@ -26,21 +34,41 @@ Server::Server(net::RpcHub& hub, net::NodeId node, const ServerParams& params)
   hub_->bind(node_, kOpStats,
              net::typed_handler<StatsRequest>(
                  [this](auto req) { return handle_stats(req); }));
+  hub_->bind(node_, kOpPing,
+             net::typed_handler<PingRequest>(
+                 [this](auto req) { return handle_ping(req); }));
 }
 
-Server::~Server() {
-  for (const net::Port port :
-       {kOpSet, kOpGet, kOpMultiGet, kOpErase, kOpPin, kOpStats}) {
+void Server::unbind_all() {
+  for (const net::Port port : {kOpSet, kOpGet, kOpMultiGet, kOpErase, kOpPin,
+                               kOpStats, kOpPing}) {
     hub_->unbind(node_, port);
   }
 }
 
 void Server::crash() {
+  if (crashed_) return;
   crashed_ = true;
   store_.wipe();
+  // Release the wiped bytes from the shared gauge immediately; waiting for
+  // the next op would leave the accounting stale across the outage.
+  update_store_metrics();
+  unbind_all();
 }
 
-void Server::restart() { crashed_ = false; }
+void Server::restart() {
+  if (!crashed_) return;
+  // Contents were wiped at crash time; wipe again for the restart-without-
+  // crash path and to reset pin/slab accounting from any post-crash races.
+  store_.wipe();
+  update_store_metrics();
+  journal_cursor_ = 0;
+  ++incarnation_;
+  crashed_ = false;
+  bind_all();
+  hub_->transport().fabric().simulation().metrics().counter("kv.restarts")
+      .add();
+}
 
 sim::Task<void> Server::charge_op(std::uint64_t copy_bytes) {
   const sim::SimTime work =
@@ -189,6 +217,16 @@ sim::Task<net::RpcResponse> Server::handle_stats(
   reply->set_failures = s.set_failures;
   const std::uint64_t wire = reply->wire_size();
   co_return net::rpc_ok<StatsReply>(std::move(reply), wire);
+}
+
+sim::Task<net::RpcResponse> Server::handle_ping(
+    std::shared_ptr<const PingRequest>) {
+  if (crashed_) co_return unavailable();
+  co_await charge_op(0);
+  auto reply = std::make_shared<PingReply>();
+  reply->incarnation = incarnation_;
+  const std::uint64_t wire = reply->wire_size();
+  co_return net::rpc_ok<PingReply>(std::move(reply), wire);
 }
 
 }  // namespace hpcbb::kv

@@ -44,12 +44,24 @@ class Server {
   [[nodiscard]] net::NodeId node() const noexcept { return node_; }
   [[nodiscard]] KvStore& store() noexcept { return store_; }
   [[nodiscard]] const ServerParams& params() const noexcept { return params_; }
+  // Journal SSD, or nullptr when persist_writes is off. Exposed so fault
+  // injectors can target it with limpware episodes.
+  [[nodiscard]] storage::Device* journal_device() noexcept {
+    return journal_.get();
+  }
 
-  // Crash: memory contents are lost; subsequent ops fail kUnavailable.
+  // Crash: memory contents are lost, ports unbind — callers see
+  // kUnavailable ("connection refused"), as for a dead process.
   void crash();
-  // Restart with an empty store.
+  // Restart empty: wipes contents and slab/pin accounting, rebinds the RPC
+  // ports, bumps the incarnation and the kv.restarts counter.
   void restart();
   [[nodiscard]] bool is_crashed() const noexcept { return crashed_; }
+  // Starts at 1; +1 per restart. Reported by kOpPing so monitors can detect
+  // a restarted-empty server without comparing contents.
+  [[nodiscard]] std::uint64_t incarnation() const noexcept {
+    return incarnation_;
+  }
 
  private:
   sim::Task<net::RpcResponse> handle_set(std::shared_ptr<const SetRequest>);
@@ -61,6 +73,10 @@ class Server {
   sim::Task<net::RpcResponse> handle_pin(std::shared_ptr<const PinRequest>);
   sim::Task<net::RpcResponse> handle_stats(
       std::shared_ptr<const StatsRequest>);
+  sim::Task<net::RpcResponse> handle_ping(std::shared_ptr<const PingRequest>);
+
+  void bind_all();
+  void unbind_all();
 
   // Charge base op cost plus an optional payload copy on this node's CPU.
   sim::Task<void> charge_op(std::uint64_t copy_bytes);
@@ -77,6 +93,7 @@ class Server {
   std::uint64_t journal_cursor_ = 0;
   std::uint64_t metered_bytes_ = 0;      // store bytes already in "kv.bytes"
   std::uint64_t metered_evictions_ = 0;  // evictions already counted
+  std::uint64_t incarnation_ = 1;
   bool crashed_ = false;
 };
 

@@ -35,6 +35,18 @@ sim::Task<Status> Fabric::deliver(NodeId src, NodeId dst, std::uint64_t bytes,
                     links_[dst].up ? "source node down" : "peer node down");
   }
 
+  if (fault_hook_) {
+    const LinkFault fault = fault_hook_(src, dst, bytes);
+    if (fault.extra_delay_ns > 0) co_await sim_->delay(fault.extra_delay_ns);
+    if (fault.drop) {
+      // The sender learns of the loss the way it would for a dead peer:
+      // after the connection-probe latency, with a transient error.
+      co_await sim_->delay(params_.hop_latency_ns);
+      co_return error(StatusCode::kUnavailable,
+                      "transient fault: message dropped");
+    }
+  }
+
   links_[src].bytes_sent += bytes;
   links_[dst].bytes_received += bytes;
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/status.h"
@@ -35,10 +36,26 @@ struct FabricParams {
   sim::SimTime spine_latency_ns = 400;
 };
 
+// Verdict of the fault hook for one message: drop it (delivery fails with
+// kUnavailable after the connection-probe latency, like a lost datagram) or
+// stall it by an extra queueing delay before it enters the fabric.
+struct LinkFault {
+  bool drop = false;
+  sim::SimTime extra_delay_ns = 0;
+};
+
 class Fabric {
  public:
   Fabric(sim::Simulation& sim, std::uint32_t node_count,
          const FabricParams& params);
+
+  // Install a per-message fault hook (fault injection). Consulted once per
+  // deliver() before any fabric state changes; null (the default) keeps the
+  // healthy path untouched. Both transports share the fabric, so one hook
+  // covers all RPC and bulk traffic.
+  using FaultHook =
+      std::function<LinkFault(NodeId src, NodeId dst, std::uint64_t bytes)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
   [[nodiscard]] std::uint32_t node_count() const noexcept {
     return static_cast<std::uint32_t>(links_.size());
@@ -92,6 +109,7 @@ class Fabric {
 
   sim::Simulation* sim_;
   FabricParams params_;
+  FaultHook fault_hook_;
   std::vector<NodeLink> links_;
   std::vector<RackLink> racks_;
   std::vector<std::unique_ptr<sim::BandwidthQueue>> cpu_;

@@ -1,0 +1,32 @@
+#include "net/retry.h"
+
+namespace hpcbb::net {
+
+RetryPolicy RetryPolicy::from_properties(const Properties& props,
+                                         RetryPolicy defaults) {
+  RetryPolicy p = defaults;
+  p.max_attempts = static_cast<std::uint32_t>(
+      props.get_u64_or("net.retry.max_attempts", p.max_attempts));
+  if (p.max_attempts == 0) p.max_attempts = 1;
+  p.timeout_ns =
+      props.get_u64_or("net.retry.timeout_us", p.timeout_ns / duration::us) *
+      duration::us;
+  p.backoff_base_ns = props.get_u64_or("net.retry.backoff_us",
+                                       p.backoff_base_ns / duration::us) *
+                      duration::us;
+  p.backoff_max_ns = props.get_u64_or("net.retry.backoff_max_us",
+                                      p.backoff_max_ns / duration::us) *
+                     duration::us;
+  p.backoff_multiplier =
+      props.get_double_or("net.retry.multiplier", p.backoff_multiplier);
+  p.jitter_seed = props.get_u64_or("net.retry.jitter_seed", p.jitter_seed);
+  p.retry_non_idempotent =
+      props.get_bool_or("net.retry.non_idempotent", p.retry_non_idempotent);
+  return p;
+}
+
+RetryPolicy RetryPolicy::from_properties(const Properties& props) {
+  return from_properties(props, RetryPolicy{});
+}
+
+}  // namespace hpcbb::net

@@ -18,7 +18,9 @@
 #include <unordered_map>
 
 #include "common/status.h"
+#include "net/retry.h"
 #include "net/transport.h"
+#include "sim/sync.h"
 #include "sim/task.h"
 
 namespace hpcbb::net {
@@ -29,6 +31,11 @@ struct RpcResponse {
   Status status;
   std::shared_ptr<const void> body;  // null on error responses
   std::uint64_t wire_bytes = 64;     // headers-only reply by default
+  // True once the request reached a bound handler: from that point a retry
+  // may duplicate the handler's side effect, so only idempotent calls may
+  // re-attempt. False for failures on the request path (send error,
+  // connection refused), which are always safe to retry.
+  bool request_delivered = false;
 };
 
 template <typename T>
@@ -40,6 +47,14 @@ inline RpcResponse rpc_error(Status status) {
   return RpcResponse{std::move(status), nullptr, 64};
 }
 
+// Per-call knobs for RpcHub::call. The defaults route through the hub-wide
+// RetryPolicy; callers whose requests are unsafe to replay clear
+// `idempotent` and get exactly one attempt on ambiguous failures.
+struct CallOptions {
+  bool idempotent = true;
+  const RetryPolicy* policy = nullptr;  // null: use the hub-wide policy
+};
+
 class RpcHub {
  public:
   using Handler =
@@ -50,12 +65,14 @@ class RpcHub {
   RpcHub(const RpcHub&) = delete;
   RpcHub& operator=(const RpcHub&) = delete;
 
-  // Register a service endpoint. Binding an occupied endpoint is a bug.
+  // Register a service endpoint. Rebinding after unbind() is supported (a
+  // restarted server reclaims its old port); binding a *currently occupied*
+  // endpoint is a bug — two live services cannot share one port.
   void bind(NodeId node, Port port, Handler handler) {
     const auto [it, inserted] =
         handlers_.emplace(endpoint_key(node, port), std::move(handler));
     (void)it;
-    assert(inserted && "endpoint already bound");
+    assert(inserted && "endpoint already bound by a live service");
   }
 
   void unbind(NodeId node, Port port) {
@@ -67,6 +84,15 @@ class RpcHub {
   }
 
   [[nodiscard]] Transport& transport() noexcept { return *transport_; }
+
+  // Hub-wide retry policy applied by call()/call_with_policy(). The default
+  // policy is a no-op, so existing behaviour is unchanged until configured.
+  void set_retry_policy(const RetryPolicy& policy) noexcept {
+    retry_policy_ = policy;
+  }
+  [[nodiscard]] const RetryPolicy& retry_policy() const noexcept {
+    return retry_policy_;
+  }
 
   // Untyped call; the typed wrapper below is what services use. Every call
   // (success or error) lands in the "net.rpc" latency histogram.
@@ -83,18 +109,114 @@ class RpcHub {
   }
 
   // Typed call: Req must expose wire_size(). Returns the typed body or the
-  // first error encountered (transport or application).
+  // last error encountered (transport or application). Transient failures
+  // (kUnavailable, kTimeout) are retried per the effective RetryPolicy.
   template <typename Resp, typename Req>
   sim::Task<Result<std::shared_ptr<const Resp>>> call(
-      NodeId src, NodeId dst, Port port, std::shared_ptr<const Req> request) {
+      NodeId src, NodeId dst, Port port, std::shared_ptr<const Req> request,
+      CallOptions options = {}) {
     const std::uint64_t wire = request->wire_size();
-    RpcResponse response =
-        co_await call_raw(src, dst, port, std::move(request), wire);
+    RpcResponse response = co_await call_with_policy(
+        src, dst, port, std::move(request), wire, options);
     if (!response.status.is_ok()) co_return response.status;
     co_return std::static_pointer_cast<const Resp>(response.body);
   }
 
+  // Untyped call with retry/timeout semantics. With a no-op policy this is
+  // exactly call_raw — same event sequence, same metrics — so runs without
+  // resilience configured stay bit-identical.
+  sim::Task<RpcResponse> call_with_policy(NodeId src, NodeId dst, Port port,
+                                          std::shared_ptr<const void> request,
+                                          std::uint64_t request_wire_bytes,
+                                          CallOptions options = {}) {
+    const RetryPolicy policy =
+        options.policy != nullptr ? *options.policy : retry_policy_;
+    if (policy.is_noop()) {
+      co_return co_await call_raw(src, dst, port, std::move(request),
+                                  request_wire_bytes);
+    }
+    sim::Simulation& sim = transport_->fabric().simulation();
+    for (std::uint32_t attempt = 1;; ++attempt) {
+      RpcResponse response = co_await call_attempt(
+          src, dst, port, request, request_wire_bytes, policy.timeout_ns);
+      if (response.status.is_ok()) {
+        if (attempt > 1) sim.metrics().counter("net.retry.recovered").add();
+        co_return response;
+      }
+      const bool transient = retryable(response.status.code());
+      const bool safe = options.idempotent || policy.retry_non_idempotent ||
+                        !response.request_delivered;
+      if (!transient || !safe) co_return response;
+      if (attempt >= policy.max_attempts) {
+        if (policy.max_attempts > 1) {
+          sim.metrics().counter("net.retry.exhausted").add();
+        }
+        co_return response;
+      }
+      sim.metrics().counter("net.retry.attempts").add();
+      const sim::SimTime backoff =
+          policy.backoff_ns(attempt + 1, src, dst, port);
+      if (backoff > 0) co_await sim.delay(backoff);
+    }
+  }
+
  private:
+  // Shared state between one attempt's body, its timeout timer, and the
+  // caller. shared_ptr-owned so an attempt abandoned at timeout can finish
+  // (or stay blocked until teardown) without dangling.
+  struct PendingCall {
+    explicit PendingCall(sim::Simulation& sim) noexcept : done_cond(sim) {}
+    sim::Condition done_cond;
+    bool done = false;
+    RpcResponse response;
+  };
+
+  static sim::Task<void> attempt_body(RpcHub* hub, NodeId src, NodeId dst,
+                                      Port port,
+                                      std::shared_ptr<const void> request,
+                                      std::uint64_t wire,
+                                      std::shared_ptr<PendingCall> pending) {
+    RpcResponse response =
+        co_await hub->call_raw(src, dst, port, std::move(request), wire);
+    pending->response = std::move(response);
+    pending->done = true;
+    pending->done_cond.notify_all();
+  }
+
+  static sim::Task<void> attempt_timer(sim::Simulation* sim,
+                                       sim::SimTime delay_ns,
+                                       std::shared_ptr<PendingCall> pending) {
+    co_await sim->delay(delay_ns);
+    if (!pending->done) pending->done_cond.notify_all();
+  }
+
+  // One attempt, optionally bounded by a deadline. On timeout the in-flight
+  // call is abandoned, not cancelled — like a real network, the server may
+  // still execute the request — so timeouts report request_delivered=true
+  // and only idempotent calls retry after one.
+  sim::Task<RpcResponse> call_attempt(NodeId src, NodeId dst, Port port,
+                                      std::shared_ptr<const void> request,
+                                      std::uint64_t wire,
+                                      sim::SimTime timeout_ns) {
+    if (timeout_ns == 0) {
+      co_return co_await call_raw(src, dst, port, std::move(request), wire);
+    }
+    sim::Simulation& sim = transport_->fabric().simulation();
+    auto pending = std::make_shared<PendingCall>(sim);
+    const sim::SimTime deadline = sim.now() + timeout_ns;
+    sim.spawn(attempt_body(this, src, dst, port, std::move(request), wire,
+                           pending));
+    sim.spawn(attempt_timer(&sim, timeout_ns, pending));
+    while (!pending->done && sim.now() < deadline) {
+      co_await pending->done_cond.wait();
+    }
+    if (pending->done) co_return std::move(pending->response);
+    sim.metrics().counter("net.retry.timeouts").add();
+    RpcResponse timed_out = rpc_error(error(StatusCode::kTimeout,
+                                            "rpc deadline exceeded"));
+    timed_out.request_delivered = true;  // ambiguous: assume the worst
+    co_return timed_out;
+  }
   sim::Task<RpcResponse> call_raw_impl(NodeId src, NodeId dst, Port port,
                                        std::shared_ptr<const void> request,
                                        std::uint64_t request_wire_bytes) {
@@ -107,9 +229,16 @@ class RpcHub {
           error(StatusCode::kUnavailable, "connection refused"));
     }
     RpcResponse response = co_await it->second(std::move(request));
+    // From here the handler has executed: any failure is ambiguous for the
+    // caller and must not be blindly re-attempted for non-idempotent calls.
+    response.request_delivered = true;
 
     st = co_await transport_->send(dst, src, response.wire_bytes);
-    if (!st.is_ok()) co_return rpc_error(std::move(st));
+    if (!st.is_ok()) {
+      RpcResponse reply_lost = rpc_error(std::move(st));
+      reply_lost.request_delivered = true;
+      co_return reply_lost;
+    }
     co_return response;
   }
 
@@ -118,6 +247,7 @@ class RpcHub {
   }
 
   Transport* transport_;
+  RetryPolicy retry_policy_;
   std::unordered_map<std::uint64_t, Handler> handlers_;
 };
 

@@ -40,6 +40,10 @@ DeviceParams ramdisk_preset(std::uint64_t capacity_bytes) {
 sim::Task<void> Device::io(std::uint64_t offset, std::uint64_t bytes,
                            std::uint64_t rate) {
   sim::SimTime service = transfer_time_ns(bytes, rate);
+  if (slowdown_ > 1.0) {
+    service = static_cast<sim::SimTime>(static_cast<double>(service) *
+                                        slowdown_);
+  }
   if (offset != expected_next_offset_) {
     service += params_.seek_ns;
     ++seek_count_;

@@ -58,6 +58,14 @@ class Device {
     used_ = bytes > used_ ? 0 : used_ - bytes;
   }
 
+  // Limpware episode: a slowdown factor >= 1 divides the effective transfer
+  // rate (factor 10 = the device limps at a tenth of its speed). 1 restores
+  // healthy service. Fault injection drives this; nothing else should.
+  void set_slowdown(double factor) noexcept {
+    slowdown_ = factor < 1.0 ? 1.0 : factor;
+  }
+  [[nodiscard]] double slowdown() const noexcept { return slowdown_; }
+
   [[nodiscard]] std::uint64_t used_bytes() const noexcept { return used_; }
   [[nodiscard]] std::uint64_t capacity_bytes() const noexcept {
     return params_.capacity_bytes;
@@ -75,6 +83,7 @@ class Device {
 
   sim::Simulation* sim_;
   DeviceParams params_;
+  double slowdown_ = 1.0;
   sim::SimTime next_free_ = 0;
   sim::SimTime busy_ns_ = 0;
   std::uint64_t expected_next_offset_ = ~0ull;

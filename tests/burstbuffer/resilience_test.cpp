@@ -1,0 +1,235 @@
+// Resilience integration tests over the full cluster: crash-during-flush
+// loss accounting per scheme, the KV server restart lifecycle, the master's
+// heartbeat failure detector, and degraded-mode write-through durability.
+#include <gtest/gtest.h>
+
+#include "testing/co_assert.h"
+#include "common/units.h"
+#include "cluster/cluster.h"
+#include "sim/sync.h"
+
+namespace hpcbb {
+namespace {
+
+using namespace hpcbb::duration;  // NOLINT
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using cluster::FsKind;
+using sim::Task;
+
+ClusterConfig small_config(bb::Scheme scheme) {
+  ClusterConfig config;
+  config.compute_nodes = 4;
+  config.kv_servers = 2;
+  config.oss_count = 2;
+  config.block_size = 8 * MiB;
+  config.kv_memory_per_server = 128 * MiB;
+  config.scheme = scheme;
+  return config;
+}
+
+// Write one 8 MiB block through the BB, then crash the whole KV tier the
+// moment the burst is acked — before the flush pipeline can drain it.
+Task<void> write_then_crash(Cluster& c) {
+  fs::FileSystem& fs = c.filesystem(FsKind::kBurstBuffer);
+  auto writer = co_await fs.create("/burst", 0);
+  CO_ASSERT(writer.is_ok());
+  CO_ASSERT_OK(co_await writer.value()->append(
+      make_bytes(pattern_bytes(11, 0, 8 * MiB))));
+  CO_ASSERT_OK(co_await writer.value()->close());
+  for (std::uint32_t i = 0; i < c.kv_server_count(); ++i) {
+    c.injector().crash_target(i);
+  }
+  co_await c.bb_master().wait_all_flushed();
+}
+
+TEST(ResilienceTest, CrashDuringFlushAsyncLosesTheBlock) {
+  // BB-Async acks at buffer speed; the only copy dies with the KV tier.
+  Cluster cluster(small_config(bb::Scheme::kAsync));
+  cluster.sim().spawn(write_then_crash(cluster));
+  cluster.sim().run();
+  EXPECT_EQ(cluster.bb_master().lost_blocks(), 1u);
+  EXPECT_EQ(cluster.bb_master().recovered_blocks(), 0u);
+  EXPECT_EQ(cluster.bb_master().flushed_blocks(), 0u);
+  EXPECT_EQ(cluster.bb_master().dirty_blocks(), 0u);
+}
+
+TEST(ResilienceTest, CrashDuringFlushLocalRecoversFromReplica) {
+  // BB-Local keeps a node-local replica: when a buffer server dies with
+  // chunks of a dirty block, the flusher falls back to the replica and the
+  // block still reaches Lustre. (Crash one server, not the whole tier: the
+  // flush workers live on the KV server nodes, so a full-tier crash also
+  // removes every flusher — nothing left to run the recovery.)
+  Cluster cluster(small_config(bb::Scheme::kLocal));
+  bool verified = false;
+  cluster.sim().spawn([](Cluster& c, bool& ok) -> Task<void> {
+    fs::FileSystem& fs = c.filesystem(FsKind::kBurstBuffer);
+    auto writer = co_await fs.create("/burst", 0);
+    CO_ASSERT(writer.is_ok());
+    CO_ASSERT_OK(co_await writer.value()->append(
+        make_bytes(pattern_bytes(11, 0, 8 * MiB))));
+    CO_ASSERT_OK(co_await writer.value()->close());
+    c.injector().crash_target(1);
+    co_await c.bb_master().wait_all_flushed();
+    CO_ASSERT(c.bb_master().lost_blocks() == 0u);
+    CO_ASSERT(c.bb_master().recovered_blocks() == 1u);
+    auto reader = co_await c.filesystem(FsKind::kBurstBuffer).open(
+        "/burst", 1);
+    CO_ASSERT(reader.is_ok());
+    auto data = co_await reader.value()->read(0, 8 * MiB);
+    CO_ASSERT(data.is_ok());
+    ok = verify_pattern(11, 0, data.value());
+  }(cluster, verified));
+  cluster.sim().run();
+  EXPECT_TRUE(verified);
+}
+
+TEST(ResilienceTest, CrashDuringFlushSyncLosesNothing) {
+  // BB-Sync (the FT scheme) establishes durability on the write path: total
+  // buffer loss right after the ack costs nothing and the file stays
+  // readable from Lustre.
+  Cluster cluster(small_config(bb::Scheme::kSync));
+  bool verified = false;
+  cluster.sim().spawn([](Cluster& c, bool& ok) -> Task<void> {
+    co_await write_then_crash(c);
+    CO_ASSERT(c.bb_master().lost_blocks() == 0u);
+    auto reader = co_await c.filesystem(FsKind::kBurstBuffer).open(
+        "/burst", 1);
+    CO_ASSERT(reader.is_ok());
+    auto data = co_await reader.value()->read(0, 8 * MiB);
+    CO_ASSERT(data.is_ok());
+    ok = verify_pattern(11, 0, data.value());
+  }(cluster, verified));
+  cluster.sim().run();
+  EXPECT_TRUE(verified);
+  EXPECT_EQ(cluster.bb_master().lost_blocks(), 0u);
+  EXPECT_EQ(cluster.bb_master().flushed_blocks(), 1u);
+}
+
+TEST(ResilienceTest, KvServerRestartLifecycle) {
+  // crash(): ports unbound, contents gone, callers refused.
+  // restart(): empty store, rebound ports, incarnation bump, counter tick.
+  Cluster cluster(small_config(bb::Scheme::kAsync));
+  bool post_restart_write_ok = false;
+  cluster.sim().spawn([](Cluster& c, bool& ok) -> Task<void> {
+    fs::FileSystem& fs = c.filesystem(FsKind::kBurstBuffer);
+    auto writer = co_await fs.create("/f", 0);
+    CO_ASSERT(writer.is_ok());
+    CO_ASSERT_OK(co_await writer.value()->append(
+        make_bytes(pattern_bytes(12, 0, 8 * MiB))));
+    CO_ASSERT_OK(co_await writer.value()->close());
+    co_await c.bb_master().wait_all_flushed();
+    CO_ASSERT(c.kv_server(0).store().stats().bytes +
+                  c.kv_server(1).store().stats().bytes >
+              0u);
+    for (std::uint32_t i = 0; i < c.kv_server_count(); ++i) {
+      kv::Server& server = c.kv_server(i);
+      CO_ASSERT(server.incarnation() == 1u);
+      server.crash();
+      CO_ASSERT(server.is_crashed());
+      server.restart();
+      CO_ASSERT(!server.is_crashed());
+      CO_ASSERT(server.incarnation() == 2u);
+      CO_ASSERT(server.store().stats().bytes == 0u);  // restarted empty
+      CO_ASSERT(server.store().stats().pinned_bytes == 0u);
+    }
+    // The rebound endpoints serve a fresh write end-to-end.
+    auto w2 = co_await fs.create("/g", 1);
+    CO_ASSERT(w2.is_ok());
+    Status st = co_await w2.value()->append(
+        make_bytes(pattern_bytes(13, 0, 8 * MiB)));
+    if (st.is_ok()) st = co_await w2.value()->close();
+    ok = st.is_ok();
+  }(cluster, post_restart_write_ok));
+  cluster.sim().run();
+  EXPECT_TRUE(post_restart_write_ok);
+  EXPECT_EQ(cluster.sim().metrics().counter_value("kv.restarts"), 2u);
+}
+
+TEST(ResilienceTest, HeartbeatDetectorLifecycle) {
+  // One KV server goes down: consecutive missed probes walk it through
+  // suspect -> dead, the master enters degraded mode, and the restarted
+  // server (new incarnation) is re-admitted, closing the degraded window.
+  ClusterConfig config = small_config(bb::Scheme::kAsync);
+  config.bb_heartbeat_interval_ns = 5 * ms;
+  config.bb_suspect_after = 2;
+  config.bb_dead_after = 4;
+  Cluster cluster(config);
+  cluster.sim().spawn([](Cluster& c) -> Task<void> {
+    sim::Simulation& sim = c.sim();
+    bb::Master& master = c.bb_master();
+    co_await sim.delay(12 * ms);  // a couple of healthy probe rounds
+    CO_ASSERT(master.peer_state(0) == bb::PeerState::kLive);
+    CO_ASSERT(master.live_kv_count() == 2u);
+    CO_ASSERT(!master.degraded());
+
+    c.injector().crash_target(0);
+    co_await sim.delay(2 * 5 * ms + 1 * ms);  // two missed probes
+    CO_ASSERT(master.peer_state(0) == bb::PeerState::kSuspect);
+    CO_ASSERT(master.degraded());
+    CO_ASSERT(master.suspect_kv_count() == 1u);
+    CO_ASSERT(sim.metrics().gauge_value("bb.kv_suspect") == 1u);
+    CO_ASSERT(sim.metrics().gauge_value("bb.kv_live") == 1u);
+
+    co_await sim.delay(2 * 5 * ms);  // two more misses -> dead
+    CO_ASSERT(master.peer_state(0) == bb::PeerState::kDead);
+    CO_ASSERT(master.suspect_kv_count() == 0u);
+    CO_ASSERT(sim.metrics().counter_value("bb.detector.dead") == 1u);
+
+    c.injector().restart_target(0);
+    co_await sim.delay(2 * 5 * ms);  // next probe sees the new incarnation
+    CO_ASSERT(master.peer_state(0) == bb::PeerState::kLive);
+    CO_ASSERT(!master.degraded());
+    CO_ASSERT(master.live_kv_count() == 2u);
+    CO_ASSERT(sim.metrics().counter_value("bb.detector.rejoined") == 1u);
+    CO_ASSERT(sim.metrics().counter_value("bb.degraded.entered") == 1u);
+    master.stop_heartbeat();
+  }(cluster));
+  cluster.sim().run();
+  // The degraded window closed exactly once.
+  const auto windows = cluster.sim().metrics().histograms();
+  const auto it = windows.find("bb.degraded_window_ns");
+  ASSERT_NE(it, windows.end());
+  EXPECT_EQ(it->second.count, 1u);
+}
+
+TEST(ResilienceTest, DegradedModeWritesThroughToLustre) {
+  // With the detector degraded, BB-Async blocks are written through to
+  // Lustre on the write path — so even total buffer loss right after the
+  // ack cannot lose them.
+  ClusterConfig config = small_config(bb::Scheme::kAsync);
+  config.bb_heartbeat_interval_ns = 5 * ms;
+  config.kv_client.failover = true;
+  config.retry.max_attempts = 4;
+  config.retry.backoff_base_ns = 200 * us;
+  Cluster cluster(config);
+  bool verified = false;
+  cluster.sim().spawn([](Cluster& c, bool& ok) -> Task<void> {
+    sim::Simulation& sim = c.sim();
+    c.injector().crash_target(0);
+    // Wait until the detector has noticed (suspect already degrades).
+    while (!c.bb_master().degraded()) co_await sim.delay(5 * ms);
+
+    fs::FileSystem& fs = c.filesystem(FsKind::kBurstBuffer);
+    auto writer = co_await fs.create("/deg", 0);
+    CO_ASSERT(writer.is_ok());
+    CO_ASSERT_OK(co_await writer.value()->append(
+        make_bytes(pattern_bytes(14, 0, 8 * MiB))));
+    CO_ASSERT_OK(co_await writer.value()->close());
+    // Durable at ack: no dirty window even for the Async scheme.
+    CO_ASSERT(c.bb_master().dirty_blocks() == 0u);
+    c.injector().crash_target(1);  // now the whole buffer tier is gone
+    auto reader = co_await fs.open("/deg", 1);
+    CO_ASSERT(reader.is_ok());
+    auto data = co_await reader.value()->read(0, 8 * MiB);
+    CO_ASSERT(data.is_ok());
+    ok = verify_pattern(14, 0, data.value());
+    c.bb_master().stop_heartbeat();
+  }(cluster, verified));
+  cluster.sim().run();
+  EXPECT_TRUE(verified);
+  EXPECT_EQ(cluster.bb_master().lost_blocks(), 0u);
+}
+
+}  // namespace
+}  // namespace hpcbb

@@ -4,6 +4,8 @@
 #
 #   tools/check.sh            # both configurations
 #   tools/check.sh --fast     # default configuration only
+#   tools/check.sh --chaos    # chaos-labeled tests + seeded bench_a4_chaos
+#                             # smoke, both under ASan+UBSan
 #
 # Build trees: build/ and build-sanitize/ at the repo root.
 set -euo pipefail
@@ -13,7 +15,22 @@ cd "${repo_root}"
 
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 fast=0
+chaos=0
 [[ "${1:-}" == "--fast" ]] && fast=1
+[[ "${1:-}" == "--chaos" ]] && chaos=1
+
+if [[ "${chaos}" == 1 ]]; then
+  echo "== chaos: configure (Sanitize) =="
+  cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=Sanitize
+  echo "== chaos: build =="
+  cmake --build build-sanitize -j "${jobs}" --target resilience_test bench_a4_chaos
+  echo "== chaos: ctest -L chaos =="
+  ctest --test-dir build-sanitize --output-on-failure -j "${jobs}" -L chaos
+  echo "== chaos: bench_a4_chaos smoke (seeded) =="
+  ./build-sanitize/bench/bench_a4_chaos smoke=1 faults.seed=1
+  echo "chaos checks passed"
+  exit 0
+fi
 
 run_config() {
   local name="$1" dir="$2" build_type="$3"

@@ -18,6 +18,24 @@ import sys
 
 SCHEMA = "hpcbb.report.v1"
 
+# Counters surfaced in the dedicated resilience section (retry/timeout
+# behaviour, injected faults, failover and failure-detector activity).
+RESILIENCE_PREFIXES = (
+    "net.retry.",
+    "faults.injected",
+    "kv.failover.",
+    "kv.restarts",
+    "bb.detector.",
+    "bb.degraded.",
+    "bb.store.buffer_skips",
+    "bb.read.lustre_fallbacks",
+)
+
+
+def resilience_counters(counters):
+    return {name: value for name, value in counters.items()
+            if name.startswith(RESILIENCE_PREFIXES)}
+
 
 def load(path):
     with open(path) as f:
@@ -54,6 +72,13 @@ def show(report):
         width = max(map(len, counters))
         for name in sorted(counters):
             print(f"  {name:<{width}}  {fmt_count(counters[name]):>16}")
+
+    resilience = resilience_counters(counters)
+    if resilience:
+        print("\nresilience (retries / faults / failover):")
+        width = max(map(len, resilience))
+        for name in sorted(resilience):
+            print(f"  {name:<{width}}  {fmt_count(resilience[name]):>16}")
 
     gauges = report.get("gauges", {})
     if gauges:
@@ -119,6 +144,10 @@ def diff(baseline, candidate):
           f"candidate sim_time {fmt_ns(candidate['sim_time_ns'])}")
     diff_section("counters", baseline.get("counters", {}),
                  candidate.get("counters", {}), lambda a, b: (a, b))
+    diff_section("resilience (retries / faults / failover)",
+                 resilience_counters(baseline.get("counters", {})),
+                 resilience_counters(candidate.get("counters", {})),
+                 lambda a, b: (a, b))
     diff_section("gauges (value)", baseline.get("gauges", {}),
                  candidate.get("gauges", {}),
                  lambda a, b: (a["value"], b["value"]))
