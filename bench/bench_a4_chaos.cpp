@@ -76,6 +76,8 @@ ClusterConfig base_config(bb::Scheme scheme, const Properties& props) {
   retry.timeout_ns = 20 * duration::ms;
   config.retry = net::RetryPolicy::from_properties(props, retry);
   config.kv_client.failover = true;
+  // kv.failover / kv.repl.factor / kv.repl.ack overrides apply to every run.
+  config.kv_client.apply_properties(props);
   config.bb_heartbeat_interval_ns =
       props.get_duration_ns_or("bb.heartbeat", 10 * duration::ms);
   return config;
@@ -98,6 +100,15 @@ struct Outcome {
   std::uint64_t faults_injected = 0;
   double sort_s = 0;
   bool sorted = false;
+  // Replication subsystem (kv.repl.*); all zero at factor 1.
+  std::uint64_t repl_repair_bytes = 0;
+  std::uint64_t repl_repair_chunks = 0;
+  std::uint64_t repl_repair_failed = 0;
+  std::uint64_t repl_anti_entropy_chunks = 0;
+  std::uint64_t repl_replica_reads = 0;
+  std::uint64_t under_replicated_peak = 0;
+  HistogramSnapshot repair_hist{};
+  HistogramSnapshot anti_entropy_hist{};
 };
 
 Task<void> chaos_task(Cluster& c, const ChaosKnobs& k, Outcome& out) {
@@ -208,12 +219,33 @@ void collect_counters(Cluster& c, Outcome& out) {
     out.recovery_s = ns_to_sec(it->second.sum);
     out.degraded_windows = it->second.count;
   }
+  out.repl_repair_bytes = metrics.counter_value("kv.repl.repair_bytes");
+  out.repl_repair_chunks = metrics.counter_value("kv.repl.repair_chunks");
+  out.repl_repair_failed = metrics.counter_value("kv.repl.repair_failed");
+  out.repl_anti_entropy_chunks =
+      metrics.counter_value("kv.repl.anti_entropy_chunks");
+  out.repl_replica_reads = metrics.counter_value("kv.repl.replica_reads");
+  const auto gauges = metrics.gauges();
+  if (const auto it = gauges.find("kv.repl.under_replicated");
+      it != gauges.end()) {
+    out.under_replicated_peak = it->second.high_watermark;
+  }
+  if (const auto it = histograms.find("kv.repl.repair_ns");
+      it != histograms.end()) {
+    out.repair_hist = it->second;
+  }
+  if (const auto it = histograms.find("kv.repl.anti_entropy_ns");
+      it != histograms.end()) {
+    out.anti_entropy_hist = it->second;
+  }
 }
 
 Outcome run_scheme(bb::Scheme scheme, const Properties& props,
-                   const ChaosKnobs& k, bool with_faults) {
+                   const ChaosKnobs& k, bool with_faults,
+                   std::uint32_t repl_factor = 0) {
   ClusterConfig config = base_config(scheme, props);
   if (with_faults) config.faults = k.faults;
+  if (repl_factor > 0) config.kv_client.replication_factor = repl_factor;
   Cluster cluster(config);
   Outcome outcome;
   hpcbb::bench::run_to_completion(cluster,
@@ -300,6 +332,61 @@ int main(int argc, char** argv) {
   }
   std::printf("\n(wr/rd-deg%% = chaos throughput as a fraction of the "
               "healthy run with identical resilience settings)\n");
+
+  // ---- replicated mode: BB-Async at R=1 vs R=2 under the same crash
+  // schedule. R=1 documents the durability window (dirty chunks die with
+  // their server); R=2 must report zero lost blocks and every file
+  // readable, with the repair/anti-entropy traffic accounted.
+  std::printf("\nreplication (bb-async under chaos):\n");
+  std::printf("%-5s %5s %9s %11s %7s %7s %9s %11s %11s\n",
+              "R", "lost", "readable", "repair-MiB", "chunks", "a-e",
+              "rd-repl", "repair-ms", "underrepl");
+  for (const std::uint32_t factor : {1u, 2u}) {
+    const Outcome o =
+        run_scheme(bb::Scheme::kAsync, props, knobs, true, factor);
+    const std::string label = "R=" + std::to_string(factor);
+    std::printf("%-5s %5llu %6u/%-2u %11.1f %7llu %7llu %9llu %11.2f %11llu\n",
+                label.c_str(),
+                static_cast<unsigned long long>(o.blocks_lost),
+                o.files_readable, o.files_total,
+                static_cast<double>(o.repl_repair_bytes) / MiB,
+                static_cast<unsigned long long>(o.repl_repair_chunks),
+                static_cast<unsigned long long>(o.repl_anti_entropy_chunks),
+                static_cast<unsigned long long>(o.repl_replica_reads),
+                static_cast<double>(o.repair_hist.max) / hpcbb::duration::ms,
+                static_cast<unsigned long long>(o.under_replicated_peak));
+    result.add("repl-blocks-lost", label,
+               static_cast<double>(o.blocks_lost));
+    result.add("repl-files-readable", label,
+               static_cast<double>(o.files_readable));
+    result.add("repl-write-chaos-mbps", label, o.write_mbps);
+    result.add("repl-read-chaos-mbps", label, o.read_mbps);
+    result.add("repl-repair-bytes", label,
+               static_cast<double>(o.repl_repair_bytes));
+    result.add("repl-repair-chunks", label,
+               static_cast<double>(o.repl_repair_chunks));
+    result.add("repl-repair-failed", label,
+               static_cast<double>(o.repl_repair_failed));
+    result.add("repl-anti-entropy-chunks", label,
+               static_cast<double>(o.repl_anti_entropy_chunks));
+    result.add("repl-replica-reads", label,
+               static_cast<double>(o.repl_replica_reads));
+    result.add("repl-under-replicated-peak", label,
+               static_cast<double>(o.under_replicated_peak));
+    result.add("repl-repair-runs", label,
+               static_cast<double>(o.repair_hist.count));
+    result.add("repl-repair-p50-ms", label,
+               static_cast<double>(o.repair_hist.p50) / hpcbb::duration::ms);
+    result.add("repl-repair-p99-ms", label,
+               static_cast<double>(o.repair_hist.p99) / hpcbb::duration::ms);
+    result.add("repl-repair-max-ms", label,
+               static_cast<double>(o.repair_hist.max) / hpcbb::duration::ms);
+    result.add("repl-anti-entropy-p50-ms", label,
+               static_cast<double>(o.anti_entropy_hist.p50) /
+                   hpcbb::duration::ms);
+  }
+  std::printf("(a-e = anti-entropy chunks restored to rejoined servers; "
+              "rd-repl = reads served by a non-primary replica)\n");
   result.write();
   return 0;
 }

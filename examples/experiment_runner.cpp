@@ -89,8 +89,8 @@ int main(int argc, char** argv) {
   // failure detector, and the seed-driven fault injector. Everything
   // defaults off, keeping unconfigured runs identical to the seed.
   config.retry = net::RetryPolicy::from_properties(props, config.retry);
-  config.kv_client.failover =
-      props.get_bool_or("kv.failover", config.kv_client.failover);
+  // kv.failover, kv.repl.factor (replica count), kv.repl.ack (primary|all).
+  config.kv_client.apply_properties(props);
   config.bb_heartbeat_interval_ns =
       props.get_duration_ns_or("bb.heartbeat", config.bb_heartbeat_interval_ns);
   config.bb_suspect_after = static_cast<std::uint32_t>(
@@ -128,12 +128,14 @@ int main(int argc, char** argv) {
        {"net.tx_bytes", "net.rpc.calls", "kv.hits", "kv.misses",
         "kv.put_bytes", "kv.evictions", "lustre.write_bytes",
         "lustre.read_bytes", "hdfs.dn.write_bytes", "flowctl.stalls",
-        "net.retry.attempts", "kv.failover.set"}) {
+        "net.retry.attempts", "kv.failover.set",
+        "kv.repl.repair_bytes", "kv.repl.anti_entropy_bytes"}) {
     sampler.watch_counter(counter);
   }
   for (const char* gauge :
        {"kv.bytes", "bb.dirty_bytes", "bb.clean_bytes",
-        "bb.flush_queue_depth", "lustre.queue_depth"}) {
+        "bb.flush_queue_depth", "lustre.queue_depth",
+        "kv.repl.under_replicated"}) {
     sampler.watch_gauge(gauge);
   }
 

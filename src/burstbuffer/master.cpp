@@ -79,6 +79,22 @@ Master::Master(net::RpcHub& hub, net::NodeId node,
         .set(static_cast<std::uint64_t>(kv_servers_.size()));
     sim.spawn(heartbeat_worker());
   }
+  if (params_.kv_client.replication_factor > 1) {
+    recovery_ = std::make_unique<repl::RecoveryManager>(
+        *hub_, node_, kv_servers_,
+        repl::RecoveryParams{params_.kv_client.replication_factor},
+        params_.kv_client);
+    recovery_->set_chunk_source([this] { return replicated_chunks(); });
+    recovery_->set_liveness([this](std::uint32_t i) {
+      return peer_health_[i].state == PeerState::kLive;
+    });
+    recovery_->set_recovering_check([this](std::uint32_t i) {
+      return peer_health_[i].state == PeerState::kRecovering;
+    });
+    recovery_->set_recovery_done(
+        [this](std::uint32_t i) { on_recovery_complete(i); });
+    recovery_->set_flow_control(&flowctl_);
+  }
 }
 
 Master::~Master() {
@@ -130,12 +146,29 @@ void Master::apply_probe_result(std::uint32_t kv_index, bool reachable,
     // ring, but everything it held before the crash is gone.
     const bool restarted =
         health.incarnation != 0 && incarnation != health.incarnation;
+    if (health.state == PeerState::kRecovering && !restarted) {
+      // Anti-entropy still streaming; reachable but not yet eligible.
+      health.incarnation = incarnation;
+      health.missed = 0;
+      return;
+    }
     if (restarted || health.state == PeerState::kDead) {
       sim.metrics().counter("bb.detector.rejoined").add();
       if (trace_ != nullptr) {
         trace_->record("rejoin.kv" + std::to_string(kv_index), "bb",
                        static_cast<std::uint32_t>(node_), sim.now(),
                        sim.now());
+      }
+      if (recovery_ != nullptr) {
+        // Placement-eligibility gate: the restarted server is empty, so it
+        // holds kRecovering (non-live: degraded mode and write-through stay
+        // on) until anti-entropy re-fills its key ranges.
+        health.incarnation = incarnation;
+        health.missed = 0;
+        health.state = PeerState::kRecovering;
+        sim.metrics().counter("bb.detector.recovering").add();
+        recovery_->on_server_rejoined(kv_index);
+        return;
       }
     }
     health.incarnation = incarnation;
@@ -144,7 +177,8 @@ void Master::apply_probe_result(std::uint32_t kv_index, bool reachable,
     return;
   }
   ++health.missed;
-  if (health.state == PeerState::kLive &&
+  if ((health.state == PeerState::kLive ||
+       health.state == PeerState::kRecovering) &&
       health.missed >= params_.suspect_after) {
     health.state = PeerState::kSuspect;
     sim.metrics().counter("bb.detector.suspected").add();
@@ -153,7 +187,41 @@ void Master::apply_probe_result(std::uint32_t kv_index, bool reachable,
       health.missed >= params_.dead_after) {
     health.state = PeerState::kDead;
     sim.metrics().counter("bb.detector.dead").add();
+    // Restore the replication factor for everything the dead server held.
+    if (recovery_ != nullptr) recovery_->on_server_dead(kv_index);
   }
+}
+
+void Master::on_recovery_complete(std::uint32_t kv_index) {
+  if (peer_health_[kv_index].state != PeerState::kRecovering) return;
+  peer_health_[kv_index].state = PeerState::kLive;
+  hub_->transport().fabric().simulation().metrics()
+      .counter("bb.detector.recovered").add();
+  update_health_mode();
+}
+
+std::vector<repl::ChunkRef> Master::replicated_chunks() const {
+  std::vector<repl::ChunkRef> out;
+  for (const auto& [path, meta] : files_) {
+    for (const BbBlockInfo& block : meta.blocks) {
+      if (block.size == 0) continue;
+      if (block.state != BlockState::kDirty &&
+          block.state != BlockState::kFlushing &&
+          block.state != BlockState::kFlushed) {
+        continue;
+      }
+      const auto chunks = static_cast<std::uint32_t>(
+          (block.size + params_.chunk_size - 1) / params_.chunk_size);
+      // Dirty chunks stay pinned until their flush completes.
+      const bool pinned = block.state != BlockState::kFlushed;
+      const std::string block_id = local_object(path, block.index);
+      for (std::uint32_t c = 0; c < chunks; ++c) {
+        out.push_back(repl::ChunkRef{chunk_key(path, block.index, c),
+                                     block_id, params_.chunk_size, pinned});
+      }
+    }
+  }
+  return out;
 }
 
 void Master::update_health_mode() {
@@ -272,6 +340,22 @@ sim::Task<net::RpcResponse> Master::handle_complete_block(
   block.size = req->size;
   block.crc32c = req->crc32c;
   block.local_node = req->local_node;
+  if (recovery_ != nullptr && req->size > 0) {
+    // Record where the block's chunks live: the union of the chunks' ring
+    // replica sets (deterministic, so clients and recovery agree).
+    const auto chunks = static_cast<std::uint32_t>(
+        (req->size + params_.chunk_size - 1) / params_.chunk_size);
+    for (std::uint32_t c = 0; c < chunks; ++c) {
+      for (const std::uint32_t s :
+           recovery_->replicas(chunk_key(req->path, block.index, c))) {
+        if (std::find(block.replicas.begin(), block.replicas.end(), s) ==
+            block.replicas.end()) {
+          block.replicas.push_back(s);
+        }
+      }
+    }
+    std::sort(block.replicas.begin(), block.replicas.end());
+  }
   const std::uint64_t reserved =
       block.reservation_held ? params_.block_size : 0;
   block.reservation_held = false;
@@ -544,6 +628,25 @@ sim::Task<Status> Master::flush_block(std::uint32_t worker_index,
   // Buffer chunks are padded to uniform size; trim to the logical block.
   if (buffer_ok && data.size() > block_size) data.resize(block_size);
   if (!buffer_ok || data.size() != block_size) {
+    // With replication armed, a failed buffer read is not yet loss while
+    // the cluster is visibly unhealthy (or within a short grace window the
+    // detector has not caught up to): primary-ack replica writes and
+    // re-replication may still be in flight. Requeue and retry; the read
+    // only fails conclusively once the cluster is healthy again.
+    if (params_.kv_client.replication_factor > 1 &&
+        (degraded_ || (recovery_ != nullptr && recovery_->active_runs() > 0) ||
+         item.attempts < 4)) {
+      block->state = BlockState::kDirty;
+      co_await hub_->transport().fabric().simulation().delay(
+          params_.heartbeat_interval_ns > 0 ? params_.heartbeat_interval_ns
+                                            : duration::ms);
+      block = lookup();
+      if (block == nullptr) co_return Status::ok();
+      enqueue_flush(FlushItem{item.path, item.block_index, item.op_id,
+                              item.attempts + 1});
+      co_return error(StatusCode::kUnavailable,
+                      "buffer read failed during outage; flush requeued");
+    }
     // Acknowledged-but-unflushed data is gone: this is exactly the
     // durability window the BB-Async scheme trades for speed.
     finish_block(item.path, *block, BlockState::kLost);

@@ -15,6 +15,7 @@
 #include "kvstore/client.h"
 #include "lustre/client.h"
 #include "net/rpc.h"
+#include "repl/recovery.h"
 #include "sim/sync.h"
 #include "sim/trace.h"
 
@@ -41,11 +42,18 @@ struct MasterParams {
   std::uint32_t suspect_after = 2;
   std::uint32_t dead_after = 4;
   // Client config for the flush workers (ring failover during outages).
+  // `kv_client.replication_factor > 1` also turns on the replication
+  // recovery subsystem: the master tracks per-block replica sets and runs a
+  // repl::RecoveryManager off the failure detector (re-replication on
+  // death, anti-entropy on rejoin).
   kv::ClientParams kv_client;
 };
 
-// Failure-detector verdict for one KV server.
-enum class PeerState { kLive, kSuspect, kDead };
+// Failure-detector verdict for one KV server. kRecovering: the server
+// rejoined after a restart but anti-entropy has not finished restoring its
+// key ranges — it counts as non-live (degraded mode stays on, and it takes
+// no placements as a repair source/destination) until recovery completes.
+enum class PeerState { kLive, kSuspect, kDead, kRecovering };
 
 // Scheme-aware flow-control policy: BB-Sync never accumulates dirty bytes
 // (durability is established on the write path), so its dirty-credit gate
@@ -115,6 +123,11 @@ class Master {
     return flowctl_;
   }
 
+  // Replication recovery (null unless kv_client.replication_factor > 1).
+  [[nodiscard]] repl::RecoveryManager* recovery() noexcept {
+    return recovery_.get();
+  }
+
   // Optional span tracing of the flush pipeline ("bb" category) and the
   // flow-control subsystem ("flowctl" category).
   void set_trace(sim::TraceRecorder* recorder) noexcept {
@@ -143,6 +156,10 @@ class Master {
     std::string path;
     std::uint32_t block_index = 0;
     std::uint64_t op_id = 0;  // causal trace id from the writer
+    // Buffer-read retries so far: with replication armed a failed chunk
+    // read during an outage is requeued (replica writes and repair may
+    // still be in flight) instead of immediately declaring the block lost.
+    std::uint32_t attempts = 0;
   };
 
   sim::Task<net::RpcResponse> handle_create(
@@ -166,6 +183,11 @@ class Master {
   void apply_probe_result(std::uint32_t kv_index, bool reachable,
                           std::uint64_t incarnation);
   void update_health_mode();
+  // Anti-entropy finished: the recovering server becomes live again.
+  void on_recovery_complete(std::uint32_t kv_index);
+  // Inventory of buffer-resident replicated chunks for the recovery
+  // manager (every sealed block's chunk keys, with pin state).
+  [[nodiscard]] std::vector<repl::ChunkRef> replicated_chunks() const;
   sim::Task<void> flush_worker(std::uint32_t worker_index);
   sim::Task<Status> flush_block(std::uint32_t worker_index,
                                 const FlushItem& item);
@@ -194,6 +216,7 @@ class Master {
   std::vector<std::unique_ptr<kv::Client>> flusher_clients_;
   std::unique_ptr<kv::Client> probe_client_;  // heartbeat pings, from node_
   std::vector<PeerHealth> peer_health_;
+  std::unique_ptr<repl::RecoveryManager> recovery_;
   bool heartbeat_stop_ = false;
   bool degraded_ = false;
   sim::SimTime degraded_since_ = 0;

@@ -100,6 +100,10 @@ struct BbBlockInfo {
   std::optional<net::NodeId> local_node;
   bool reservation_held = false;  // master-internal admission bookkeeping
   std::uint64_t op_id = 0;        // causal trace id of the writing op
+  // KV server indices holding the block's chunks (union over its chunks'
+  // ring replica sets). Empty at kv.repl.factor=1 — the ring alone locates
+  // the single copy.
+  std::vector<std::uint32_t> replicas;
 };
 
 struct BbLocationsRequest {

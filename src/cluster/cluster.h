@@ -93,9 +93,11 @@ struct ClusterConfig {
   // burst-buffer RPCs. Default is a no-op (single attempt, no timeout), so
   // baseline runs are byte-identical; HDFS keeps stock sockets behaviour.
   net::RetryPolicy retry;
-  // KV client behaviour for BB writers/readers/flushers (ring failover
-  // during a server outage). Must stay consistent across all BB clients so
-  // failover writes land where failover reads look.
+  // KV client behaviour for BB writers/readers/flushers: ring failover
+  // during a server outage, and replica write fan-out / replica reads when
+  // replication_factor > 1 (which also arms the master's recovery
+  // subsystem). Must stay consistent across all BB clients so replicated
+  // and failover writes land where reads look.
   kv::ClientParams kv_client;
   // BB master failure detector over the KV servers; 0 disables it.
   sim::SimTime bb_heartbeat_interval_ns = 0;

@@ -2,8 +2,55 @@
 
 #include <cassert>
 #include <map>
+#include <utility>
+
+#include "sim/sync.h"
 
 namespace hpcbb::kv {
+namespace {
+
+// Background replica write for primary-ack mode. A free coroutine that
+// captures no Client state: the acking caller (often a short-lived writer)
+// may be destroyed before the trailing copies land.
+sim::Task<void> detached_replica_set(net::RpcHub* hub, net::NodeId self,
+                                     net::NodeId server, std::string key,
+                                     BytesPtr value, bool pinned,
+                                     std::uint64_t expiry_ns,
+                                     std::uint64_t op_id, bool by_rdma) {
+  auto& metrics = hub->transport().fabric().simulation().metrics();
+  if (by_rdma) {
+    Status st =
+        co_await hub->transport().rdma_write(self, server, value->size());
+    if (!st.is_ok()) {
+      metrics.counter("kv.repl.replica_write_failures").add();
+      co_return;
+    }
+  }
+  auto req = std::make_shared<SetRequest>();
+  req->key = std::move(key);
+  req->value = std::move(value);
+  req->pinned = pinned;
+  req->expiry_ns = expiry_ns;
+  req->payload_by_rdma = by_rdma;
+  req->op_id = op_id;
+  auto result = co_await hub->call<void>(
+      self, server, kOpSet, std::shared_ptr<const SetRequest>(std::move(req)));
+  if (!result.is_ok()) {
+    metrics.counter("kv.repl.replica_write_failures").add();
+  }
+}
+
+}  // namespace
+
+void ClientParams::apply_properties(const Properties& props) {
+  failover = props.get_bool_or("kv.failover", failover);
+  replication_factor = static_cast<std::uint32_t>(
+      props.get_u64_or("kv.repl.factor", replication_factor));
+  if (replication_factor == 0) replication_factor = 1;
+  const std::string mode =
+      props.get_or("kv.repl.ack", ack == AckMode::kAll ? "all" : "primary");
+  ack = (mode == "all") ? AckMode::kAll : AckMode::kPrimary;
+}
 
 Client::Client(net::RpcHub& hub, net::NodeId self,
                std::vector<net::NodeId> servers, const ClientParams& params)
@@ -20,23 +67,90 @@ bool Client::use_rdma(std::uint64_t bytes) const noexcept {
          bytes >= params_.rdma_threshold_bytes;
 }
 
+std::uint32_t Client::effective_factor() const noexcept {
+  return std::min(std::max(params_.replication_factor, 1u),
+                  ring_.server_count());
+}
+
+std::uint32_t Client::walk_limit() const noexcept {
+  // With failover the walk covers the whole ring; without it, only the
+  // replica set is eligible.
+  return params_.failover ? ring_.server_count() : effective_factor();
+}
+
 sim::Task<Status> Client::set(std::string key, BytesPtr value,
                               bool pinned, std::uint64_t expiry_ns,
                               std::uint64_t op_id) {
-  const net::NodeId server = server_for(key);
-  if (!params_.failover) {
+  const std::uint32_t r = effective_factor();
+  if (r == 1 && !params_.failover) {
+    const net::NodeId server = server_for(key);
     co_return co_await set_on(server, std::move(key), std::move(value),
                               pinned, expiry_ns, op_id);
   }
-  const net::NodeId fallback = failover_server_for(key);
-  Status st = co_await set_on(server, key, value, pinned, expiry_ns, op_id);
-  if (st.code() == StatusCode::kUnavailable && fallback != server) {
-    hub_->transport().fabric().simulation().metrics()
-        .counter("kv.failover.set").add();
-    st = co_await set_on(fallback, std::move(key), std::move(value), pinned,
-                         expiry_ns, op_id);
+
+  auto& sim = hub_->transport().fabric().simulation();
+  auto& metrics = sim.metrics();
+  const sim::SimTime start = sim.now();
+  const auto order = ring_.successors(key, walk_limit());
+
+  // Walk the successor list until one server accepts the write; that server
+  // is the ack point. Hops within the replica set are replica failures,
+  // hops beyond it are failovers.
+  std::size_t acked = order.size();
+  Status last = Status::ok();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    Status st =
+        co_await set_on(servers_[order[i]], key, value, pinned, expiry_ns,
+                        op_id);
+    if (st.is_ok()) {
+      acked = i;
+      break;
+    }
+    last = st;
+    if (st.code() != StatusCode::kUnavailable) co_return st;
+    if (i < r) {
+      metrics.counter("kv.repl.replica_write_failures").add();
+    }
+    if (i + 1 < order.size() && i + 1 >= r) {
+      metrics.counter("kv.failover.set").add();
+    }
   }
-  co_return st;
+  if (acked == order.size()) {
+    if (params_.failover) metrics.counter("kv.failover.exhausted").add();
+    co_return last;
+  }
+
+  // Replicate to the untried members of the replica set (replicas before
+  // the ack point already failed — the recovery manager repairs those).
+  if (params_.ack == AckMode::kAll) {
+    std::vector<sim::Task<Status>> writes;
+    for (std::size_t i = acked + 1; i < r; ++i) {
+      writes.push_back(
+          set_on(servers_[order[i]], key, value, pinned, expiry_ns, op_id));
+    }
+    if (!writes.empty()) {
+      const auto statuses =
+          co_await sim::parallel_collect(sim, std::move(writes));
+      for (const Status& st : statuses) {
+        if (!st.is_ok()) {
+          metrics.counter("kv.repl.replica_write_failures").add();
+        }
+      }
+    }
+    if (r > 1) {
+      metrics.histogram("kv.repl.ack_all_ns").record(sim.now() - start);
+    }
+  } else {
+    for (std::size_t i = acked + 1; i < r; ++i) {
+      sim.spawn(detached_replica_set(hub_, self_, servers_[order[i]], key,
+                                     value, pinned, expiry_ns, op_id,
+                                     use_rdma(value->size())));
+    }
+    if (r > 1) {
+      metrics.histogram("kv.repl.ack_primary_ns").record(sim.now() - start);
+    }
+  }
+  co_return Status::ok();
 }
 
 sim::Task<Status> Client::set_on(net::NodeId server, std::string key,
@@ -66,22 +180,33 @@ sim::Task<Status> Client::set_on(net::NodeId server, std::string key,
 
 sim::Task<Result<BytesPtr>> Client::get(std::string key,
                                         std::uint64_t op_id) {
-  const net::NodeId server = server_for(key);
-  if (!params_.failover) {
+  const std::uint32_t r = effective_factor();
+  if (r == 1 && !params_.failover) {
+    const net::NodeId server = server_for(key);
     co_return co_await get_from(server, std::move(key), op_id);
   }
-  const net::NodeId fallback = failover_server_for(key);
-  Result<BytesPtr> result = co_await get_from(server, key, op_id);
-  if (!result.is_ok() && fallback != server) {
+
+  auto& metrics = hub_->transport().fabric().simulation().metrics();
+  const auto order = ring_.successors(key, walk_limit());
+  // Read from the first replica that answers with data. kNotFound falls
+  // through too: data written while a server was down lives further along
+  // the chain, and a restarted-empty server misses on everything.
+  Result<BytesPtr> result = error(StatusCode::kInternal, "empty walk");
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    result = co_await get_from(servers_[order[i]], key, op_id);
+    if (result.is_ok()) {
+      if (i > 0 && i < r) metrics.counter("kv.repl.replica_reads").add();
+      co_return result;
+    }
     const StatusCode code = result.status().code();
-    // kNotFound too: data written while the owner was down lives on the
-    // failover owner, and a restarted-empty owner misses on everything.
-    if (code == StatusCode::kUnavailable || code == StatusCode::kNotFound) {
-      hub_->transport().fabric().simulation().metrics()
-          .counter("kv.failover.get").add();
-      result = co_await get_from(fallback, std::move(key), op_id);
+    if (code != StatusCode::kUnavailable && code != StatusCode::kNotFound) {
+      co_return result;
+    }
+    if (i + 1 < order.size() && i + 1 >= r) {
+      metrics.counter("kv.failover.get").add();
     }
   }
+  if (params_.failover) metrics.counter("kv.failover.exhausted").add();
   co_return result;
 }
 
@@ -111,6 +236,7 @@ sim::Task<Result<std::vector<std::optional<BytesPtr>>>> Client::multi_get(
   }
 
   std::vector<std::optional<BytesPtr>> out(keys.size());
+  const bool can_fall_back = effective_factor() > 1 || params_.failover;
   for (const auto& [server, indices] : by_server) {
     auto req = std::make_shared<MultiGetRequest>();
     req->keys.reserve(indices.size());
@@ -118,21 +244,57 @@ sim::Task<Result<std::vector<std::optional<BytesPtr>>>> Client::multi_get(
     auto result = co_await hub_->call<MultiGetReply>(
         self_, server, kOpMultiGet,
         std::shared_ptr<const MultiGetRequest>(std::move(req)));
-    if (!result.is_ok()) co_return result.status();
+    if (!result.is_ok()) {
+      // With replicas or failover available, retry the affected keys
+      // individually so one dead primary doesn't fail the whole batch.
+      if (!can_fall_back ||
+          result.status().code() != StatusCode::kUnavailable) {
+        co_return result.status();
+      }
+      for (const std::size_t i : indices) {
+        auto one = co_await get(keys[i]);
+        if (one.is_ok()) {
+          out[i] = std::move(one).value();
+        } else if (one.status().code() != StatusCode::kNotFound) {
+          co_return one.status();
+        }
+      }
+      continue;
+    }
     const auto& reply = result.value();
     if (reply->values.size() != indices.size()) {
       co_return error(StatusCode::kInternal, "multi-get shape mismatch");
     }
     for (std::size_t j = 0; j < indices.size(); ++j) {
       out[indices[j]] = reply->values[j];
+      // A replicated miss may still hit further along the chain (e.g. the
+      // primary restarted empty).
+      if (!out[indices[j]] && effective_factor() > 1) {
+        auto one = co_await get(keys[indices[j]]);
+        if (one.is_ok()) out[indices[j]] = std::move(one).value();
+      }
     }
   }
   co_return out;
 }
 
 sim::Task<Status> Client::erase(std::string key) {
-  const net::NodeId server = server_for(key);
-  return erase_on(server, std::move(key));
+  const std::uint32_t r = effective_factor();
+  if (r == 1) {
+    const net::NodeId server = server_for(key);
+    co_return co_await erase_on(server, std::move(key));
+  }
+  // Erase everywhere the key may live; a down or already-empty replica is
+  // not an error as long as the primary copy is handled.
+  const auto replicas = ring_.successors(key, r);
+  Status primary = co_await erase_on(servers_[replicas[0]], key);
+  for (std::size_t i = 1; i < replicas.size(); ++i) {
+    Status st = co_await erase_on(servers_[replicas[i]], key);
+    if (primary.code() == StatusCode::kUnavailable && st.is_ok()) {
+      primary = st;
+    }
+  }
+  co_return primary;
 }
 
 sim::Task<Status> Client::erase_on(net::NodeId server,
@@ -143,8 +305,20 @@ sim::Task<Status> Client::erase_on(net::NodeId server,
 }
 
 sim::Task<Status> Client::pin(std::string key, bool pinned) {
-  const net::NodeId server = server_for(key);
-  return pin_on(server, std::move(key), pinned);
+  const std::uint32_t r = effective_factor();
+  if (r == 1) {
+    const net::NodeId server = server_for(key);
+    co_return co_await pin_on(server, std::move(key), pinned);
+  }
+  const auto replicas = ring_.successors(key, r);
+  Status primary = co_await pin_on(servers_[replicas[0]], key, pinned);
+  for (std::size_t i = 1; i < replicas.size(); ++i) {
+    Status st = co_await pin_on(servers_[replicas[i]], key, pinned);
+    if (primary.code() == StatusCode::kUnavailable && st.is_ok()) {
+      primary = st;
+    }
+  }
+  co_return primary;
 }
 
 sim::Task<Status> Client::pin_on(net::NodeId server, std::string key,

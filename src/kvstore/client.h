@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/properties.h"
 #include "common/status.h"
 #include "common/units.h"
 #include "kvstore/protocol.h"
@@ -17,13 +18,29 @@
 
 namespace hpcbb::kv {
 
+// When does a replicated set() acknowledge?  kPrimary acks as soon as the
+// first replica accepts the write and completes the remaining copies in the
+// background; kAll waits for every replica write to finish before returning
+// (data is on every live replica at ack time).
+enum class AckMode { kPrimary, kAll };
+
 struct ClientParams {
   std::uint64_t rdma_threshold_bytes = 16 * KiB;
-  // Ring failover: when the owner of a key is unreachable, set()/get() try
-  // the next server on the ring (get() also on miss, since data written
-  // during an outage lives on the failover owner). Off by default: healthy
-  // runs must not pay an extra round trip for every true miss.
+  // Ring failover: when the owner of a key is unreachable, set()/get() walk
+  // successive ring servers until one answers or the ring is exhausted
+  // (get() also on miss, since data written during an outage lives on the
+  // failover owners). Off by default: healthy runs must not pay an extra
+  // round trip for every true miss.
   bool failover = false;
+  // Replication factor R: writes fan out to the first R distinct successors
+  // of the key on the ring; reads fall through the same list. 1 (default)
+  // keeps the unreplicated fast path.
+  std::uint32_t replication_factor = 1;
+  AckMode ack = AckMode::kPrimary;
+
+  // Reads kv.failover, kv.repl.factor, kv.repl.ack (primary|all) on top of
+  // the current values.
+  void apply_properties(const Properties& props);
 };
 
 class Client {
@@ -60,6 +77,13 @@ class Client {
   [[nodiscard]] net::NodeId failover_server_for(const std::string& key) const {
     return servers_[ring_.next_server_for(key)];
   }
+  // Server indices of the key's R replicas, primary first.
+  [[nodiscard]] std::vector<std::uint32_t> replica_indices(
+      const std::string& key) const {
+    return ring_.successors(key, params_.replication_factor);
+  }
+  [[nodiscard]] const HashRing& ring() const noexcept { return ring_; }
+  [[nodiscard]] const ClientParams& params() const noexcept { return params_; }
   [[nodiscard]] const std::vector<net::NodeId>& servers() const noexcept {
     return servers_;
   }
@@ -79,6 +103,9 @@ class Client {
 
  private:
   [[nodiscard]] bool use_rdma(std::uint64_t bytes) const noexcept;
+  // Replication factor and walk depth clamped to the actual server count.
+  [[nodiscard]] std::uint32_t effective_factor() const noexcept;
+  [[nodiscard]] std::uint32_t walk_limit() const noexcept;
 
   net::RpcHub* hub_;
   net::NodeId self_;

@@ -53,20 +53,35 @@ class HashRing {
   }
 
   // The next distinct server clockwise from the key's owner — the failover
-  // target / replica location.
+  // target / first replica location.
   [[nodiscard]] std::uint32_t next_server_for(std::string_view key) const {
+    const auto repl = successors(key, 2);
+    return repl.size() > 1 ? repl[1] : repl[0];
+  }
+
+  // The first `count` distinct servers clockwise from the key's hash: the
+  // owner first, then the replica chain in failover order. Capped at the
+  // server count; a full-count request enumerates every server, giving the
+  // ring-exhausting failover walk. Purely a function of (ring, key), so
+  // every client and the recovery manager agree on replica sets without
+  // coordination.
+  [[nodiscard]] std::vector<std::uint32_t> successors(
+      std::string_view key, std::uint32_t count) const {
+    std::vector<std::uint32_t> out;
+    const std::uint32_t want =
+        std::min(std::max(count, 1u), server_count_);
+    out.reserve(want);
     const std::uint64_t hash = ring_hash(key);
     auto it = std::upper_bound(points_.begin(), points_.end(),
                                Point{hash, ~0u});
-    const std::uint32_t primary =
-        (it == points_.end() ? points_.front() : *it).server;
-    if (server_count_ == 1) return primary;
-    for (std::size_t step = 0; step < points_.size(); ++step) {
+    for (std::size_t step = 0; step < points_.size() && out.size() < want;
+         ++step, ++it) {
       if (it == points_.end()) it = points_.begin();
-      if (it->server != primary) return it->server;
-      ++it;
+      if (std::find(out.begin(), out.end(), it->server) == out.end()) {
+        out.push_back(it->server);
+      }
     }
-    return primary;
+    return out;
   }
 
   [[nodiscard]] std::uint32_t server_count() const noexcept {

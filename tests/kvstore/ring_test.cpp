@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <string>
 
@@ -44,6 +45,44 @@ TEST(HashRingTest, FailoverTargetDiffersFromPrimary) {
     const std::string key = "key-" + std::to_string(i);
     EXPECT_NE(ring.server_for(key), ring.next_server_for(key)) << key;
   }
+}
+
+TEST(HashRingTest, SuccessorsStartAtOwnerAndAreDistinct) {
+  HashRing ring(6);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    const auto repl = ring.successors(key, 3);
+    ASSERT_EQ(repl.size(), 3u) << key;
+    // The replica list is the owner followed by the ring-walk successors,
+    // so R=1 placement and the legacy failover target fall out of it.
+    EXPECT_EQ(repl[0], ring.server_for(key)) << key;
+    EXPECT_EQ(repl[1], ring.next_server_for(key)) << key;
+    EXPECT_NE(repl[0], repl[1]) << key;
+    EXPECT_NE(repl[0], repl[2]) << key;
+    EXPECT_NE(repl[1], repl[2]) << key;
+  }
+}
+
+TEST(HashRingTest, SuccessorsDeterministicAcrossInstances) {
+  HashRing a(5), b(5);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    EXPECT_EQ(a.successors(key, 3), b.successors(key, 3)) << key;
+  }
+}
+
+TEST(HashRingTest, SuccessorCountClampedToServerCount) {
+  HashRing ring(3);
+  // Asking for more replicas than servers yields every server exactly once.
+  const auto all = ring.successors("k", 10);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_NE(std::find(all.begin(), all.end(), 0u), all.end());
+  EXPECT_NE(std::find(all.begin(), all.end(), 1u), all.end());
+  EXPECT_NE(std::find(all.begin(), all.end(), 2u), all.end());
+  // count=0 is treated as 1: the owner alone.
+  const auto one = ring.successors("k", 0);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], ring.server_for("k"));
 }
 
 TEST(HashRingTest, GrowingClusterRemapsMinority) {

@@ -24,6 +24,7 @@ RESILIENCE_PREFIXES = (
     "net.retry.",
     "faults.injected",
     "kv.failover.",
+    "kv.repl.",
     "kv.restarts",
     "bb.detector.",
     "bb.degraded.",
@@ -79,6 +80,24 @@ def show(report):
         width = max(map(len, resilience))
         for name in sorted(resilience):
             print(f"  {name:<{width}}  {fmt_count(resilience[name]):>16}")
+
+    # Replication: repair/anti-entropy volume plus the repair-duration
+    # histograms, pulled together so a recovery run reads as one story.
+    repl_counters = {n: v for n, v in counters.items()
+                     if n.startswith("kv.repl.")}
+    repl_hists = {n: h for n, h in report.get("histograms", {}).items()
+                  if n in ("kv.repl.repair_ns", "kv.repl.anti_entropy_ns",
+                           "kv.repl.ack_primary_ns", "kv.repl.ack_all_ns")}
+    if repl_counters or repl_hists:
+        print("\nreplication (repair / anti-entropy):")
+        width = max(map(len, list(repl_counters) + list(repl_hists)))
+        for name in sorted(repl_counters):
+            print(f"  {name:<{width}}  {fmt_count(repl_counters[name]):>16}")
+        for name in sorted(repl_hists):
+            h = repl_hists[name]
+            print(f"  {name:<{width}}  runs {h['count']:>5,}  "
+                  f"p50 {fmt_ns(h['p50'])}  p99 {fmt_ns(h['p99'])}  "
+                  f"max {fmt_ns(h['max'])}")
 
     gauges = report.get("gauges", {})
     if gauges:
