@@ -48,7 +48,7 @@ Point run_case(net::TransportKind kind) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using hpcbb::bench::print_header;
   print_header("A1 (ablation)",
                "the burst buffer over RDMA vs socket transports",
@@ -79,6 +79,5 @@ int main() {
     }
     std::printf("\n");
   }
-  result.write();
-  return 0;
+  return hpcbb::bench::finish(result, argc, argv);
 }

@@ -50,7 +50,7 @@ std::vector<double> run_case(bool promote, int passes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using hpcbb::bench::print_header;
   print_header("A2 (ablation)",
                "read promotion: repeated reads of a cold (flushed) dataset",
@@ -72,6 +72,5 @@ int main() {
     }
     std::printf("\n");
   }
-  result.write();
-  return 0;
+  return hpcbb::bench::finish(result, argc, argv);
 }

@@ -70,7 +70,7 @@ OverloadPoint run_case(std::uint64_t buffer_total, std::uint64_t dataset) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using hpcbb::bench::print_header;
   print_header("A3", "flow control under sustained overload (BB-Async)",
                "dirty bytes stay bounded by the high watermark and writes "
@@ -112,6 +112,6 @@ int main() {
   std::printf("\n%s: dirty bytes %s bounded by the high watermark "
               "(+1 block) and all writes acked\n",
               all_ok ? "PASS" : "FAIL", all_ok ? "stayed" : "were NOT");
-  result.write();
-  return all_ok ? 0 : 1;
+  const int gate_rc = hpcbb::bench::finish(result, argc, argv);
+  return all_ok ? gate_rc : 1;
 }

@@ -260,9 +260,10 @@ int main(int argc, char** argv) {
   Properties props;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--gate") continue;  // handled by bench::finish below
     const auto eq = arg.find('=');
     if (eq == std::string::npos || eq == 0) {
-      std::fprintf(stderr, "usage: %s [key=value ...]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--gate] [key=value ...]\n", argv[0]);
       return 2;
     }
     props.set(arg.substr(0, eq), arg.substr(eq + 1));
@@ -387,6 +388,5 @@ int main(int argc, char** argv) {
   }
   std::printf("(a-e = anti-entropy chunks restored to rejoined servers; "
               "rd-repl = reads served by a non-primary replica)\n");
-  result.write();
-  return 0;
+  return hpcbb::bench::finish(result, argc, argv);
 }

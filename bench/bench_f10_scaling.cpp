@@ -45,7 +45,7 @@ ScalingPoint run_case(const SystemCase& system, std::uint32_t nodes,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using hpcbb::bench::print_header;
   print_header("F10", "weak scaling: aggregate MB/s, 64 MiB per node",
                "BB advantage holds as the cluster grows");
@@ -77,6 +77,5 @@ int main() {
     }
     std::printf("\n");
   }
-  result.write();
-  return 0;
+  return hpcbb::bench::finish(result, argc, argv);
 }

@@ -47,7 +47,7 @@ CapacityPoint run_case(std::uint64_t buffer_total, std::uint64_t dataset) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using hpcbb::bench::print_header;
   print_header("F11", "buffer capacity sensitivity (BB-Async, 1 GiB burst)",
                "throughput degrades gracefully toward the flush rate as the "
@@ -74,6 +74,5 @@ int main() {
                static_cast<double>(point.backpressure_retries));
     result.add("evictions", x, static_cast<double>(point.evictions));
   }
-  result.write();
-  return 0;
+  return hpcbb::bench::finish(result, argc, argv);
 }

@@ -58,7 +58,7 @@ OpLatency measure(net::TransportKind kind, std::uint64_t value_size) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using hpcbb::bench::print_header;
   print_header("F1", "KV store op latency by transport and value size",
                "RDMA ops ~an order of magnitude faster than socket paths");
@@ -97,6 +97,5 @@ int main() {
     }
     std::printf("   %.1fx\n", hpcbb::bench::ratio(ipoib_get, rdma_get));
   }
-  result.write();
-  return 0;
+  return hpcbb::bench::finish(result, argc, argv);
 }

@@ -55,7 +55,7 @@ double run_case(net::TransportKind kind, std::uint32_t clients,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using hpcbb::bench::print_header;
   print_header("F2", "KV aggregate SET throughput (512 KiB values)",
                "burst absorption scales with servers; RDMA >> IPoIB");
@@ -93,6 +93,5 @@ int main() {
     }
     std::printf("\n");
   }
-  result.write();
-  return 0;
+  return hpcbb::bench::finish(result, argc, argv);
 }

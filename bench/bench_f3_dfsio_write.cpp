@@ -33,7 +33,7 @@ double run_case(const SystemCase& system, std::uint32_t files,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using hpcbb::bench::print_header;
   print_header("F3", "TestDFSIO write throughput (aggregate MB/s, 8 nodes)",
                "write up to 2.6x over HDFS and 1.5x over Lustre");
@@ -64,6 +64,5 @@ int main() {
                 hpcbb::bench::ratio(mbps["BB-Async"], mbps["HDFS"]),
                 hpcbb::bench::ratio(mbps["BB-Async"], mbps["Lustre"]));
   }
-  result.write();
-  return 0;
+  return hpcbb::bench::finish(result, argc, argv);
 }

@@ -35,7 +35,7 @@ double run_case(const SystemCase& system, std::uint32_t files,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using hpcbb::bench::print_header;
   print_header("F4", "TestDFSIO read throughput (aggregate MB/s, 8 nodes)",
                "read gains up to 8x (buffer-resident data at RDMA speed)");
@@ -64,6 +64,5 @@ int main() {
                 hpcbb::bench::ratio(mbps["BB-Async"], mbps["HDFS"]),
                 hpcbb::bench::ratio(mbps["BB-Async"], mbps["Lustre"]));
   }
-  result.write();
-  return 0;
+  return hpcbb::bench::finish(result, argc, argv);
 }

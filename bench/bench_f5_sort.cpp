@@ -67,7 +67,7 @@ SortOutcome run_case(const SystemCase& system, std::uint64_t records_per_file,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using hpcbb::bench::print_header;
   print_header("F5", "Sort execution time (8 nodes, 16 reducers)",
                "sort time reduced up to 28% vs Lustre, 19% vs HDFS");
@@ -109,6 +109,5 @@ int main() {
   }
   std::printf("\n(reduction percentages use BB-Local, the scheme the paper "
               "recommends for MapReduce)\n");
-  result.write();
-  return 0;
+  return hpcbb::bench::finish(result, argc, argv);
 }

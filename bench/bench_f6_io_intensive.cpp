@@ -48,7 +48,7 @@ Outcome run_case(const SystemCase& system, std::uint64_t records_per_file) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using hpcbb::bench::print_header;
   print_header("F6", "I/O-intensive workloads: RandomWriter + Grep (8 nodes)",
                "significant benefit for I/O-intensive workloads");
@@ -82,6 +82,5 @@ int main() {
     }
     std::printf("\n");
   }
-  result.write();
-  return 0;
+  return hpcbb::bench::finish(result, argc, argv);
 }

@@ -59,7 +59,7 @@ SchemeOutcome run_scheme(bb::Scheme scheme) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using hpcbb::bench::print_header;
   print_header("F7",
                "scheme ablation: I/O vs data-locality vs fault-tolerance",
@@ -89,6 +89,5 @@ int main() {
   std::printf("\nexpected shape: Async fastest ack but longest window; Sync "
               "zero window,\nslowest ack; Local adds locality and a RAM-disk "
               "copy for modest local storage.\n");
-  result.write();
-  return 0;
+  return hpcbb::bench::finish(result, argc, argv);
 }

@@ -100,7 +100,7 @@ void hdfs_comparison() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using hpcbb::bench::print_header;
   print_header("F8",
                "fault tolerance: 1 of 4 buffer servers crashes right after "
@@ -128,6 +128,5 @@ int main() {
                static_cast<double>(outcome.files_fully_readable));
   }
   hdfs_comparison();
-  result.write();
-  return 0;
+  return hpcbb::bench::finish(result, argc, argv);
 }

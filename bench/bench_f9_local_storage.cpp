@@ -52,7 +52,7 @@ StorageOutcome run_case(const SystemCase& system, std::uint64_t file_size) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using hpcbb::bench::print_header;
   print_header("F9", "node-local storage consumed by a 512 MiB DFSIO write",
                "reduced local storage requirement vs HDFS's 3x replication");
@@ -80,6 +80,5 @@ int main() {
   }
   std::printf("\nexpected: HDFS 1.5 GiB local (3x replicas); BB-Async/Sync "
               "zero local;\nBB-Local 512 MiB (one RAM-disk replica).\n");
-  result.write();
-  return 0;
+  return hpcbb::bench::finish(result, argc, argv);
 }

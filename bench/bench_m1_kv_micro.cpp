@@ -106,16 +106,29 @@ BENCHMARK(BM_PatternBytes)->Arg(4096)->Arg(1 << 20);
 // machine-readable JSON result file by default — google-benchmark already
 // speaks JSON, so default its --benchmark_out flags instead. An explicit
 // --benchmark_out on the command line wins; $HPCBB_BENCH_OUT relocates the
-// default file.
+// default file. `--gate` (stripped before google-benchmark sees the args)
+// verifies the result against bench/baselines/m1.json via
+// tools/bench_gate.py, exactly like the bench_util.h finish() epilogue; the
+// baseline's loose tolerances absorb host-clock noise on real-time numbers.
 int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
+  std::vector<char*> args;
+  bool gate = false;
   bool has_out = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]).starts_with("--benchmark_out")) has_out = true;
+  std::string path = "m1_result.json";
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (i > 0 && arg == "--gate") {
+      gate = true;
+      continue;
+    }
+    if (arg.starts_with("--benchmark_out=")) {
+      has_out = true;
+      path = arg.substr(std::string("--benchmark_out=").size());
+    }
+    args.push_back(argv[i]);
   }
   std::string out_flag, format_flag;
   if (!has_out) {
-    std::string path = "m1_result.json";
     if (const char* dir = std::getenv("HPCBB_BENCH_OUT")) {
       path = std::string(dir) + "/" + path;
     }
@@ -129,5 +142,13 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (gate) {
+    const char* root = std::getenv("HPCBB_ROOT");
+    const std::string base = root != nullptr ? root : ".";
+    const std::string cmd = "python3 \"" + base + "/tools/bench_gate.py\""
+                            " check \"" + base + "/bench/baselines/m1.json\""
+                            " \"" + path + "\"";
+    return std::system(cmd.c_str()) == 0 ? 0 : 1;
+  }
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -69,6 +70,8 @@ class JsonResult {
   JsonResult(std::string id, std::string title)
       : id_(std::move(id)), title_(std::move(title)) {}
 
+  [[nodiscard]] const std::string& id() const noexcept { return id_; }
+
   // One data point: `series` names the curve (e.g. "RDMA-set"), `x` the
   // position along it (value size, node count, scheme name, ...).
   void add(const std::string& series, const std::string& x, double value) {
@@ -123,5 +126,43 @@ class JsonResult {
   std::string title_;
   std::vector<Point> points_;
 };
+
+// ---- perf-regression gate (`--gate`) ----
+// With --gate on the command line, a bench verifies its freshly-written
+// result against the committed baseline (bench/baselines/<id>.json) via
+// tools/bench_gate.py and exits non-zero on a regression outside the
+// baseline's tolerances. $HPCBB_ROOT overrides the repo root used to locate
+// the script and baselines (default: the current directory).
+
+inline bool gate_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--gate") return true;
+  }
+  return false;
+}
+
+// Runs the gate check for a result file already on disk; returns main()'s
+// exit code (0 = within tolerance).
+inline int gate_result(const std::string& id, const std::string& result_path) {
+  const char* root = std::getenv("HPCBB_ROOT");
+  const std::string base = root != nullptr ? root : ".";
+  const std::string cmd = "python3 \"" + base + "/tools/bench_gate.py\""
+                          " check \"" + base + "/bench/baselines/" + id +
+                          ".json\" \"" + result_path + "\"";
+  const int rc = std::system(cmd.c_str());
+  return rc == 0 ? 0 : 1;
+}
+
+// Standard bench epilogue: write the JSON result, then gate it if --gate
+// was passed. Returns main()'s exit code.
+inline int finish(const JsonResult& result, int argc, char** argv) {
+  const std::string path = result.write();
+  if (path.empty()) {
+    std::fprintf(stderr, "cannot write %s result file\n", result.id().c_str());
+    return 1;
+  }
+  if (!gate_requested(argc, argv)) return 0;
+  return gate_result(result.id(), path);
+}
 
 }  // namespace hpcbb::bench

@@ -11,8 +11,10 @@
 // Keys: fs={hdfs,lustre,bb}, bb.scheme={async,sync,local}, files,
 // file.size, cluster.nodes, kv.servers, kv.memory, block.size,
 // bb.promote={0,1}, trace.out=<path>, metrics.out=<path> (JSON report,
-// schema hpcbb.report.v1), timeline.out=<path> (CSV time series),
-// stats.interval=<duration> (sampling period, e.g. 100ms; default 100ms).
+// schema hpcbb.report.v2, including per-op latency attribution),
+// timeline.out=<path> (CSV time series), stats.interval=<duration>
+// (sampling period, e.g. 100ms; default 100ms), attr.topk=<n> (slowest ops
+// dumped with full span chains in the report; default 5).
 // Resilience (DESIGN.md §10, all off by default): net.retry.* (RPC retry
 // policy), kv.failover={0,1}, bb.heartbeat=<duration> (failure detector,
 // 0 = off), bb.suspect_after / bb.dead_after, and faults.* (deterministic
@@ -27,6 +29,7 @@
 #include "common/strings.h"
 #include "common/units.h"
 #include "mapred/workloads.h"
+#include "obs/attribution.h"
 #include "obs/report.h"
 #include "obs/sampler.h"
 #include "sim/sync.h"
@@ -118,6 +121,12 @@ int main(int argc, char** argv) {
   // Simulation-wide trace hook: every instrumented layer (hdfs, kv, lustre,
   // bb, mapred) emits causally-linked spans into the same recorder.
   cluster.sim().set_trace(&trace);
+  // Latency attribution: consume op-tagged spans as they close and build
+  // per-op critical-path breakdowns for the report's "attribution" section.
+  obs::SpanAccountant attribution(
+      static_cast<std::size_t>(props.get_u64_or("attr.topk", 5)));
+  trace.set_span_sink(
+      [&attribution](const sim::TraceSpan& s) { attribution.on_span_close(s); });
 
   // Time-series sampler: snapshots the hot counters/gauges every
   // stats.interval of simulated time.
@@ -211,6 +220,15 @@ int main(int argc, char** argv) {
               format_duration_ns(cluster.sim().now()).c_str(),
               static_cast<unsigned long long>(
                   cluster.sim().events_processed()));
+  if (attribution.op_count() > 0) {
+    const auto top = attribution.slowest(1);
+    std::printf("attribution: %zu ops; slowest op %llu: %s end-to-end, "
+                "bottleneck %s\n",
+                attribution.op_count(),
+                static_cast<unsigned long long>(top.front().op_id),
+                format_duration_ns(top.front().e2e_ns()).c_str(),
+                top.front().bottleneck.c_str());
+  }
 
   if (const auto out_path = props.get("trace.out")) {
     std::ofstream out(*out_path);
@@ -221,7 +239,8 @@ int main(int argc, char** argv) {
     std::printf("%s", trace.summary().c_str());
   }
   if (const auto out_path = props.get("metrics.out")) {
-    const std::string report = obs::report_json(cluster.sim(), &sampler);
+    const std::string report =
+        obs::report_json(cluster.sim(), &sampler, &attribution);
     if (obs::write_text_file(*out_path, report)) {
       std::printf("metrics report (%s) written to %s\n", obs::kReportSchema,
                   out_path->c_str());

@@ -76,11 +76,28 @@ class BbWriter final : public fs::Writer {
 
  private:
   sim::Task<Status> start_block() {
+    // One causal op per block: admission, chunk stores, the master's
+    // bookkeeping, the flusher, and the Lustre writes all share this id.
+    // Allocated (and the client-side span opened) BEFORE the AddBlock RPC so
+    // the master-side admission stall is attributed to this write — the
+    // flowctl credit wait is often the dominant queueing term.
+    sim::Simulation& sim = bbfs_->hub_->transport().fabric().simulation();
+    op_id_ = sim.next_op_id();
+    if (sim.trace() != nullptr) {
+      // Single-writer files: blocks_added_ is the index the master will
+      // return (a mismatch would be a retransmission of this same index).
+      block_span_ = sim.trace()->begin(
+          "write." + path_ + "#" + std::to_string(blocks_added_), "bb",
+          client_, op_id_);
+    }
     auto req = std::make_shared<const BbAddBlockRequest>(
-        BbAddBlockRequest{path_, client_, blocks_added_});
+        BbAddBlockRequest{path_, client_, blocks_added_, op_id_});
     auto result = co_await bbfs_->hub_->call<BbAddBlockReply>(
         client_, bbfs_->master_node_, kBbAddBlock, req);
-    if (!result.is_ok()) co_return result.status();
+    if (!result.is_ok()) {
+      if (sim.trace() != nullptr) sim.trace()->end(block_span_);
+      co_return result.status();
+    }
     block_index_ = result.value()->block_index;
     ++blocks_added_;
     // Write-through when the scheme demands it (BB-Sync) or the master is
@@ -95,15 +112,6 @@ class BbWriter final : public fs::Writer {
     block_crc_ = 0;
     next_chunk_ = 0;
     block_open_ = true;
-    // One causal op per block: chunk stores, the master's bookkeeping, the
-    // flusher, and the Lustre writes all share this id.
-    sim::Simulation& sim = bbfs_->hub_->transport().fabric().simulation();
-    op_id_ = sim.next_op_id();
-    if (sim.trace() != nullptr) {
-      block_span_ = sim.trace()->begin(
-          "write." + path_ + "#" + std::to_string(block_index_), "bb",
-          client_, op_id_);
-    }
     co_return Status::ok();
   }
 
@@ -223,13 +231,16 @@ class BbWriter final : public fs::Writer {
     total_bytes_ += block_bytes_;
     block_open_ = false;
     local_replica_ok_ = true;
+    // The client span closes after the CompleteBlock reply: the seal RPC is
+    // part of what the writer experiences as this block's write latency.
+    const Status status =
+        (co_await bbfs_->hub_->call<void>(
+             client_, bbfs_->master_node_, kBbCompleteBlock,
+             std::shared_ptr<const BbCompleteBlockRequest>(std::move(req))))
+            .status();
     sim::Simulation& sim = bbfs_->hub_->transport().fabric().simulation();
     if (sim.trace() != nullptr) sim.trace()->end(block_span_);
-    co_return (co_await bbfs_->hub_->call<void>(
-                   client_, bbfs_->master_node_, kBbCompleteBlock,
-                   std::shared_ptr<const BbCompleteBlockRequest>(
-                       std::move(req))))
-        .status();
+    co_return status;
   }
 
   BurstBufferFileSystem* bbfs_;

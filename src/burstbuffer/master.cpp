@@ -299,7 +299,7 @@ sim::Task<net::RpcResponse> Master::handle_add_block(
   }
   // Credit-based admission: may evict clean blocks, may stall (but never
   // reject) under memory pressure.
-  (void)co_await flowctl_.admit(params_.block_size);
+  (void)co_await flowctl_.admit(params_.block_size, req->op_id);
   // Re-find: the admission wait suspends, and the file may change meanwhile.
   const auto it2 = files_.find(req->path);
   if (it2 == files_.end()) {
@@ -476,12 +476,9 @@ sim::Task<net::RpcResponse> Master::handle_list(
 
 void Master::enqueue_flush(FlushItem item) {
   ++flush_queue_depth_;
-  hub_->transport()
-      .fabric()
-      .simulation()
-      .metrics()
-      .gauge("bb.flush_queue_depth")
-      .add();
+  sim::Simulation& sim = hub_->transport().fabric().simulation();
+  item.enqueued_ns = sim.now();
+  sim.metrics().gauge("bb.flush_queue_depth").add();
   flush_queue_.push(std::move(item));
 }
 
@@ -529,6 +526,10 @@ sim::Task<void> Master::flush_worker(std::uint32_t worker_index) {
     }
     std::size_t span = 0;
     if (trace_ != nullptr) {
+      // Queue dwell plus pacing delay: time the sealed block waited before a
+      // flusher started serving it. Attribution counts it as queueing.
+      trace_->record("wait.flush_queue", "bb", worker_index, item.enqueued_ns,
+                     sim.now(), item.op_id);
       span = trace_->begin(
           "flush.block_" + std::to_string(item.block_index), "bb",
           worker_index, item.op_id);

@@ -160,6 +160,10 @@ class Master {
     // read during an outage is requeued (replica writes and repair may
     // still be in flight) instead of immediately declaring the block lost.
     std::uint32_t attempts = 0;
+    // Stamped by enqueue_flush; the flush worker records the enqueue -> pace
+    // dwell as a "wait.flush_queue" span so latency attribution can split
+    // the flush pipeline into queueing and service time.
+    sim::SimTime enqueued_ns = 0;
   };
 
   sim::Task<net::RpcResponse> handle_create(

@@ -57,6 +57,9 @@ struct BbAddBlockRequest {
   // already allocated is a retransmission — the master returns the existing
   // block instead of allocating an orphan.
   std::uint32_t expected_index = kAnyBlockIndex;
+  // Causal op id of the block being opened, so master-side work on the
+  // admission path (the flowctl credit wait) is attributed to this write.
+  std::uint64_t op_id = 0;
   [[nodiscard]] std::uint64_t wire_size() const {
     return kHeaderBytes + path.size();
   }

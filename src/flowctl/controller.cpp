@@ -55,7 +55,8 @@ Pressure CapacityController::pressure() const noexcept {
   return band(usage_bytes());
 }
 
-sim::Task<sim::SimTime> CapacityController::admit(std::uint64_t bytes) {
+sim::Task<sim::SimTime> CapacityController::admit(std::uint64_t bytes,
+                                                  std::uint64_t op_id) {
   if (!enabled()) co_return 0;
   const sim::SimTime start = sim_->now();
   bool stalled = false;
@@ -75,7 +76,7 @@ sim::Task<sim::SimTime> CapacityController::admit(std::uint64_t bytes) {
       stalled = true;
       sim_->metrics().counter("flowctl.stalls").add();
       if (trace_ != nullptr) {
-        span = trace_->begin("flowctl.stall", "flowctl", trace_track_);
+        span = trace_->begin("flowctl.stall", "flowctl", trace_track_, op_id);
       }
     }
     co_await drained_.wait();

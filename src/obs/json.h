@@ -1,0 +1,35 @@
+// Tiny JSON emission helpers shared by the hand-rolled report writers
+// (report.cpp, attribution.cpp). Not a JSON library: just enough escaping
+// and float formatting to keep machine-readable output well-formed.
+#pragma once
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace hpcbb::obs {
+
+// Metric and span names are internal identifiers ("kv.put", "write.f#3") but
+// a stray quote or backslash must not corrupt the report.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+inline std::string json_double(double value) {
+  std::array<char, 32> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.6g", value);
+  return buf.data();
+}
+
+}  // namespace hpcbb::obs

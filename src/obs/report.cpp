@@ -1,43 +1,16 @@
 #include "obs/report.h"
 
-#include <array>
-#include <cstdio>
 #include <fstream>
 
 #include "common/metrics.h"
+#include "obs/attribution.h"
+#include "obs/json.h"
 #include "obs/sampler.h"
 
 namespace hpcbb::obs {
 
-namespace {
-
-// Metric names are internal identifiers ("kv.put", "kv.bytes{node=3}") but a
-// stray quote or backslash must not corrupt the report.
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
-
-std::string json_double(double value) {
-  std::array<char, 32> buf{};
-  std::snprintf(buf.data(), buf.size(), "%.6g", value);
-  return buf.data();
-}
-
-}  // namespace
-
-std::string report_json(sim::Simulation& sim,
-                        const TimeSeriesSampler* sampler) {
+std::string report_json(sim::Simulation& sim, const TimeSeriesSampler* sampler,
+                        const SpanAccountant* attribution) {
   std::string out = "{\"schema\":\"";
   out += kReportSchema;
   out += "\",\"sim_time_ns\":" + std::to_string(sim.now());
@@ -81,6 +54,9 @@ std::string report_json(sim::Simulation& sim,
 
   if (sampler != nullptr) {
     out += ",\"timeline\":" + sampler->to_json();
+  }
+  if (attribution != nullptr) {
+    out += ",\"attribution\":" + attribution->to_json();
   }
   out += "}";
   return out;

@@ -2,8 +2,9 @@
 //
 // report_json() renders the simulation's entire MetricRegistry — counters,
 // gauges (with high-watermarks), histogram summaries (count/sum/min/max/mean
-// and p50/p95/p99) — plus an optional sampled timeline into one JSON
-// document. The schema is versioned ("hpcbb.report.v1") so tools/report.py
+// and p50/p95/p99) — plus an optional sampled timeline and an optional
+// per-op latency-attribution section into one JSON document. The schema is
+// versioned ("hpcbb.report.v2"; v2 added "attribution") so tools/report.py
 // can pretty-print and diff reports across runs.
 #pragma once
 
@@ -14,12 +15,14 @@
 namespace hpcbb::obs {
 
 class TimeSeriesSampler;
+class SpanAccountant;
 
 // Current report schema identifier, embedded in every report.
-inline constexpr const char* kReportSchema = "hpcbb.report.v1";
+inline constexpr const char* kReportSchema = "hpcbb.report.v2";
 
 [[nodiscard]] std::string report_json(
-    sim::Simulation& sim, const TimeSeriesSampler* sampler = nullptr);
+    sim::Simulation& sim, const TimeSeriesSampler* sampler = nullptr,
+    const SpanAccountant* attribution = nullptr);
 
 // Writes `content` to `path`; returns false on I/O failure.
 bool write_text_file(const std::string& path, const std::string& content);

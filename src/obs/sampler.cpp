@@ -1,10 +1,31 @@
 #include "obs/sampler.h"
 
+#include <coroutine>
 #include <utility>
 
 #include "common/metrics.h"
 
 namespace hpcbb::obs {
+
+namespace {
+
+// delay_until with a cancellation handle: stop() cancels the wakeup so a
+// finished run does not wait out (and advance the clock by) one more tick.
+struct CancellableDelayUntil {
+  sim::Simulation& sim;
+  sim::SimTime wake_time;
+  std::uint64_t* token;
+  bool* pending;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> handle) {
+    *token = sim.schedule_cancellable(wake_time, handle);
+    *pending = true;
+  }
+  void await_resume() const noexcept { *pending = false; }
+};
+
+}  // namespace
 
 TimeSeriesSampler::TimeSeriesSampler(sim::Simulation& sim,
                                      sim::SimTime interval_ns)
@@ -35,6 +56,10 @@ void TimeSeriesSampler::start() {
 void TimeSeriesSampler::stop() {
   if (stopped_) return;
   stopped_ = true;
+  if (tick_pending_) {
+    sim_.cancel(tick_token_);
+    tick_pending_ = false;
+  }
   if (started_) sample_now();
 }
 
@@ -54,8 +79,9 @@ sim::Task<void> TimeSeriesSampler::run_loop() {
   while (!stopped_) {
     const sim::SimTime next_tick =
         (sim_.now() / interval_ns_ + 1) * interval_ns_;
-    co_await sim_.delay_until(next_tick);
-    if (stopped_) break;
+    co_await CancellableDelayUntil{sim_, next_tick, &tick_token_,
+                                   &tick_pending_};
+    if (stopped_) break;  // unreachable while stop() cancels, kept as a belt
     sample_now();
   }
 }

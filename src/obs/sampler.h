@@ -9,8 +9,11 @@
 //
 // Lifecycle in an event-driven simulation: a naive periodic task would keep
 // the event queue non-empty forever, so the workload driver calls stop()
-// when it finishes; that takes a final sample at quiescence and lets the one
-// pending tick fire and exit, after which sim.run() drains normally.
+// when it finishes; that takes a final sample at quiescence and cancels the
+// pending tick, after which sim.run() drains normally. Cancelling (rather
+// than letting the tick fire and exit) keeps the stop from re-running probes
+// when it lands exactly on a tick boundary and from dragging sim.now() one
+// interval past quiescence.
 #pragma once
 
 #include <cstdint>
@@ -46,8 +49,8 @@ class TimeSeriesSampler {
   // Takes a baseline sample now and spawns the periodic task. Ticks are
   // aligned to multiples of the interval, not offset from the start time.
   void start();
-  // Final sample at the current (quiescence) time; the periodic task exits
-  // on its next wakeup. Idempotent.
+  // Final sample at the current (quiescence) time; the pending tick is
+  // cancelled so the periodic task never wakes again. Idempotent.
   void stop();
   // One immediate sample. A sample at the same timestamp as the previous
   // one replaces it, keeping timestamps strictly increasing.
@@ -75,6 +78,8 @@ class TimeSeriesSampler {
   sim::SimTime interval_ns_;
   bool started_ = false;
   bool stopped_ = false;
+  bool tick_pending_ = false;      // run_loop is suspended on a timer
+  std::uint64_t tick_token_ = 0;   // cancellation token for that timer
   std::vector<std::string> names_;
   std::vector<Probe> probes_;
   std::vector<TimelinePoint> timeline_;

@@ -22,6 +22,37 @@ void Simulation::schedule_at(SimTime time, std::coroutine_handle<> handle) {
   queue_.push(Event{time, next_seq_++, handle});
 }
 
+std::uint64_t Simulation::schedule_cancellable(SimTime time,
+                                              std::coroutine_handle<> handle) {
+  assert(time >= now_ && "cannot schedule into the simulated past");
+  const std::uint64_t token = next_seq_++;
+  queue_.push(Event{time, token, handle});
+  cancellable_pending_.insert(token);
+  return token;
+}
+
+bool Simulation::cancel(std::uint64_t token) {
+  if (cancellable_pending_.erase(token) == 0) return false;
+  // Tombstone; the queue entry is dropped unprocessed when it reaches the
+  // front of the queue (seqs are unique, so it can only match once).
+  cancelled_.insert(token);
+  return true;
+}
+
+bool Simulation::pop_next(SimTime deadline, Event& out) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    const Event event = queue_.top();
+    queue_.pop();
+    if (!cancelled_.empty() && cancelled_.erase(event.seq) > 0) {
+      continue;  // discarded unprocessed: no clock advance, no resume
+    }
+    if (!cancellable_pending_.empty()) cancellable_pending_.erase(event.seq);
+    out = event;
+    return true;
+  }
+  return false;
+}
+
 [[noreturn]] void Simulation::RootTask::promise_type::unhandled_exception()
     noexcept {
   // A detached simulated process has no awaiter to propagate to; this is
@@ -52,9 +83,8 @@ void Simulation::finish_root(std::uint64_t id) noexcept {
 }
 
 void Simulation::run() {
-  while (!queue_.empty()) {
-    const Event event = queue_.top();
-    queue_.pop();
+  Event event{};
+  while (pop_next(~SimTime{0}, event)) {
     assert(event.time >= now_);
     now_ = event.time;
     ++events_processed_;
@@ -63,9 +93,8 @@ void Simulation::run() {
 }
 
 void Simulation::run_until(SimTime deadline) {
-  while (!queue_.empty() && queue_.top().time <= deadline) {
-    const Event event = queue_.top();
-    queue_.pop();
+  Event event{};
+  while (pop_next(deadline, event)) {
     now_ = event.time;
     ++events_processed_;
     event.handle.resume();

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <queue>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/metrics.h"
@@ -35,6 +36,18 @@ class Simulation {
   // Schedule a raw coroutine resumption. Used by awaitables; application
   // code uses delay()/spawn() and the sync primitives.
   void schedule_at(SimTime time, std::coroutine_handle<> handle);
+
+  // Like schedule_at, but the returned token can cancel the wakeup before it
+  // fires. A cancelled event is discarded unprocessed when its turn comes:
+  // it does not advance simulated time, count as a processed event, or
+  // resume the (possibly long-gone) coroutine. Periodic actors use this so
+  // stopping them does not drag the clock past quiescence.
+  [[nodiscard]] std::uint64_t schedule_cancellable(
+      SimTime time, std::coroutine_handle<> handle);
+
+  // Cancel a pending cancellable wakeup. Returns false if the token already
+  // fired or was already cancelled.
+  bool cancel(std::uint64_t token);
 
   // Awaitable: suspend the current task for `delay_ns` simulated nanoseconds.
   auto delay(SimTime delay_ns) noexcept {
@@ -135,7 +148,15 @@ class Simulation {
   TraceRecorder* trace_ = nullptr;
   std::uint64_t next_root_id_ = 0;
   std::uint64_t events_processed_ = 0;
+  // Pops the next runnable event, skipping cancelled ones. Returns false
+  // when the queue is exhausted or the next event is past `deadline`.
+  bool pop_next(SimTime deadline, Event& out);
+
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // Seq numbers of cancelled-but-still-queued events (erased when popped).
+  std::unordered_set<std::uint64_t> cancelled_;
+  // Cancellable tokens that have neither fired nor been cancelled yet.
+  std::unordered_set<std::uint64_t> cancellable_pending_;
   std::unordered_map<std::uint64_t, std::coroutine_handle<>> roots_;
   MetricRegistry metrics_;
 };

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -51,6 +52,7 @@ class TraceRecorder {
   void end(std::size_t index) {
     if (index < spans_.size() && spans_[index].end_ns == kOpenSentinel) {
       spans_[index].end_ns = sim_->now();
+      if (span_sink_) span_sink_(spans_[index]);
     }
   }
 
@@ -59,6 +61,16 @@ class TraceRecorder {
               SimTime begin_ns, SimTime end_ns, std::uint64_t op_id = 0) {
     spans_.push_back(TraceSpan{std::move(name), std::move(category), track,
                                begin_ns, end_ns, op_id});
+    if (span_sink_ && end_ns != kOpenSentinel) span_sink_(spans_.back());
+  }
+
+  // Optional sink invoked each time a span closes (end() of an open span, or
+  // record() of a pre-measured one). Lets incremental consumers — e.g. the
+  // obs::SpanAccountant latency-attribution engine — ingest spans as they
+  // close instead of rescanning spans(). The reference is only valid for the
+  // duration of the call.
+  void set_span_sink(std::function<void(const TraceSpan&)> sink) {
+    span_sink_ = std::move(sink);
   }
 
   [[nodiscard]] const std::vector<TraceSpan>& spans() const noexcept {
@@ -83,6 +95,7 @@ class TraceRecorder {
  private:
   Simulation* sim_;
   std::vector<TraceSpan> spans_;
+  std::function<void(const TraceSpan&)> span_sink_;
 };
 
 // RAII span: closes on scope exit. Null recorder => no-op.

@@ -150,12 +150,24 @@ TEST(BbMasterTest, TraceSpansCoverEveryFlushedBlock) {
     co_await r.master->wait_all_flushed();
   }(rig));
   rig.sim.run();
-  EXPECT_EQ(trace.spans().size(), 3u);  // 12 MiB / 4 MiB blocks
+  // Per flushed block (12 MiB / 4 MiB blocks = 3): one "wait.flush_queue"
+  // queue-dwell span plus one "flush.block_N" service span.
   EXPECT_EQ(trace.open_span_count(), 0u);
+  std::size_t flush_spans = 0;
+  std::size_t wait_spans = 0;
   for (const auto& span : trace.spans()) {
     EXPECT_EQ(span.category, "bb");
-    EXPECT_GT(span.end_ns, span.begin_ns);
+    if (span.name.starts_with("flush.")) {
+      ++flush_spans;
+      EXPECT_GT(span.end_ns, span.begin_ns);
+    } else {
+      EXPECT_EQ(span.name, "wait.flush_queue");
+      ++wait_spans;
+      EXPECT_GE(span.end_ns, span.begin_ns);
+    }
   }
+  EXPECT_EQ(flush_spans, 3u);
+  EXPECT_EQ(wait_spans, 3u);
 }
 
 }  // namespace

@@ -1,0 +1,218 @@
+// Latency attribution: per-op critical-path breakdowns from op_id-tagged
+// trace spans — exact layer sums, queue/service split, deterministic top-K.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/attribution.h"
+#include "obs/report.h"
+#include "sim/simulation.h"
+#include "sim/trace.h"
+
+namespace hpcbb::obs {
+namespace {
+
+using sim::Simulation;
+using sim::TraceRecorder;
+using sim::TraceSpan;
+
+const LayerSlice* find_layer(const OpAttribution& op, const std::string& name) {
+  for (const LayerSlice& slice : op.layers) {
+    if (slice.layer == name) return &slice;
+  }
+  return nullptr;
+}
+
+sim::SimTime layer_sum(const OpAttribution& op) {
+  sim::SimTime sum = 0;
+  for (const LayerSlice& slice : op.layers) sum += slice.total_ns;
+  return sum;
+}
+
+// Multi-layer nesting, overlapping same-layer spans, and an uncovered gap:
+// the per-layer sums must partition the op's end-to-end time exactly.
+TEST(SpanAccountantTest, NestedSpansProduceExactPerLayerSums) {
+  Simulation sim;
+  TraceRecorder trace(sim);
+  SpanAccountant acc;
+  trace.set_span_sink(
+      [&acc](const TraceSpan& s) { acc.on_span_close(s); });
+
+  // op 1, all on the write path ("bb" + name "write.*" => layer "client"):
+  //   client [0, 1000]
+  //     kv [100, 300] and kv [250, 400] (overlap => still kv)
+  //     lustre [500, 900]
+  //   gap [1000, 1100] covered by nothing => "idle"
+  //   flusher [1100, 1200]
+  trace.record("write./f#0", "bb", 0, 0, 1000, 1);
+  trace.record("kv.set", "kv", 1, 100, 300, 1);
+  trace.record("kv.set", "kv", 2, 250, 400, 1);
+  trace.record("lustre.write", "lustre", 3, 500, 900, 1);
+  trace.record("flush.block_0", "bb", 0, 1100, 1200, 1);
+
+  ASSERT_EQ(acc.op_count(), 1u);
+  const OpAttribution op = acc.attribute(1);
+  EXPECT_EQ(op.begin_ns, 0u);
+  EXPECT_EQ(op.end_ns, 1200u);
+  EXPECT_EQ(op.e2e_ns(), 1200u);
+  EXPECT_EQ(op.span_count, 5u);
+  EXPECT_EQ(layer_sum(op), op.e2e_ns());
+
+  ASSERT_NE(find_layer(op, "client"), nullptr);
+  EXPECT_EQ(find_layer(op, "client")->total_ns, 300u);  // 0-100,400-500,900-1000
+  ASSERT_NE(find_layer(op, "kv"), nullptr);
+  EXPECT_EQ(find_layer(op, "kv")->total_ns, 300u);  // 100-400 merged
+  ASSERT_NE(find_layer(op, "lustre"), nullptr);
+  EXPECT_EQ(find_layer(op, "lustre")->total_ns, 400u);
+  ASSERT_NE(find_layer(op, "idle"), nullptr);
+  EXPECT_EQ(find_layer(op, "idle")->total_ns, 100u);
+  EXPECT_EQ(find_layer(op, "idle")->queue_ns, 100u);  // idle counts as queue
+  ASSERT_NE(find_layer(op, "flusher"), nullptr);
+  EXPECT_EQ(find_layer(op, "flusher")->total_ns, 100u);
+  EXPECT_EQ(op.bottleneck, "lustre");
+}
+
+// The queue/service split: injected flowctl credit-wait and flush-queue
+// dwell are queueing; everything else is service.
+TEST(SpanAccountantTest, QueueServiceSplitMatchesInjectedCreditWait) {
+  Simulation sim;
+  TraceRecorder trace(sim);
+  SpanAccountant acc;
+  trace.set_span_sink(
+      [&acc](const TraceSpan& s) { acc.on_span_close(s); });
+
+  // client [0, 1000]; flowctl.stall [200, 700] (credit wait);
+  // kv [700, 900]; wait.flush_queue [900, 1000] (flusher-side dwell).
+  trace.record("write./f#0", "bb", 0, 0, 1000, 7);
+  trace.record("flowctl.stall", "flowctl", 0, 200, 700, 7);
+  trace.record("kv.set", "kv", 1, 700, 900, 7);
+  trace.record("wait.flush_queue", "bb", 0, 900, 1000, 7);
+
+  const OpAttribution op = acc.attribute(7);
+  EXPECT_EQ(layer_sum(op), op.e2e_ns());
+
+  const LayerSlice* flowctl = find_layer(op, "flowctl");
+  ASSERT_NE(flowctl, nullptr);
+  EXPECT_EQ(flowctl->total_ns, 500u);
+  EXPECT_EQ(flowctl->queue_ns, 500u);  // the injected credit wait, exactly
+  EXPECT_EQ(flowctl->service_ns, 0u);
+
+  const LayerSlice* client = find_layer(op, "client");
+  ASSERT_NE(client, nullptr);
+  EXPECT_EQ(client->total_ns, 200u);
+  EXPECT_EQ(client->queue_ns, 0u);
+  EXPECT_EQ(client->service_ns, 200u);
+
+  const LayerSlice* flusher = find_layer(op, "flusher");
+  ASSERT_NE(flusher, nullptr);  // wait.flush* maps to the flusher layer
+  EXPECT_EQ(flusher->queue_ns, 100u);
+  EXPECT_EQ(flusher->service_ns, 0u);
+
+  const LayerSlice* kv = find_layer(op, "kv");
+  ASSERT_NE(kv, nullptr);
+  EXPECT_EQ(kv->queue_ns, 0u);
+  EXPECT_EQ(kv->service_ns, 200u);
+}
+
+TEST(SpanAccountantTest, TopKOrderingDeterministicUnderTies) {
+  Simulation sim;
+  TraceRecorder trace(sim);
+  SpanAccountant acc;
+  trace.set_span_sink(
+      [&acc](const TraceSpan& s) { acc.on_span_close(s); });
+
+  // Ops 5, 2, 9 tie at 100ns end-to-end; op 7 is slowest at 200ns.
+  for (const std::uint64_t op_id : {5u, 2u, 9u}) {
+    trace.record("write./t#0", "bb", 0, 0, 100, op_id);
+  }
+  trace.record("write./t#1", "bb", 0, 50, 250, 7);
+
+  const std::vector<OpAttribution> top = acc.slowest(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].op_id, 7u);  // slowest first
+  EXPECT_EQ(top[1].op_id, 2u);  // ties by ascending op_id
+  EXPECT_EQ(top[2].op_id, 5u);
+
+  // k larger than the op count returns everything, same order.
+  const std::vector<OpAttribution> all = acc.slowest(10);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[3].op_id, 9u);
+}
+
+// The sink path: spans arrive as they close (end() out of opening order),
+// open spans and untagged spans are excluded.
+TEST(SpanAccountantTest, SinkIngestsOnlyClosedTaggedSpans) {
+  Simulation sim;
+  TraceRecorder trace(sim);
+  SpanAccountant acc;
+  trace.set_span_sink(
+      [&acc](const TraceSpan& s) { acc.on_span_close(s); });
+
+  const std::size_t tagged = trace.begin("write./f#0", "bb", 0, 3);
+  const std::size_t untagged = trace.begin("flowctl.evict./f#1", "flowctl", 0);
+  const std::size_t left_open = trace.begin("kv.set", "kv", 1, 4);
+  EXPECT_EQ(acc.op_count(), 0u);  // nothing closed yet
+  trace.end(untagged);            // closed but op_id == 0: ignored
+  trace.end(tagged);
+  EXPECT_EQ(acc.op_count(), 1u);
+  (void)left_open;  // never closed: op 4 must not appear
+  EXPECT_EQ(acc.attribute(3).span_count, 1u);
+  EXPECT_EQ(acc.attribute(4).span_count, 0u);
+
+  // A late-attaching consumer bulk-ingests the recorder and must see
+  // exactly the same closed tagged spans as the live sink did.
+  SpanAccountant bulk;
+  bulk.ingest(trace);
+  EXPECT_EQ(bulk.op_count(), 1u);
+  EXPECT_EQ(bulk.attribute(3).span_count, 1u);
+}
+
+TEST(SpanAccountantTest, ReportV2EmbedsAttributionSection) {
+  Simulation sim;
+  TraceRecorder trace(sim);
+  SpanAccountant acc(/*top_k=*/2);
+  trace.set_span_sink(
+      [&acc](const TraceSpan& s) { acc.on_span_close(s); });
+  trace.record("write./f#0", "bb", 0, 0, 1000, 1);
+  trace.record("flowctl.stall", "flowctl", 0, 100, 700, 1);
+
+  const std::string report = report_json(sim, nullptr, &acc);
+  EXPECT_NE(report.find("\"schema\":\"hpcbb.report.v2\""), std::string::npos);
+  EXPECT_NE(report.find("\"attribution\":"), std::string::npos);
+  EXPECT_NE(report.find("\"op_count\":1"), std::string::npos);
+  EXPECT_NE(report.find("\"layers\":"), std::string::npos);
+  EXPECT_NE(report.find("\"queue_ns\":600"), std::string::npos);
+  EXPECT_NE(report.find("\"top_ops\":"), std::string::npos);
+  EXPECT_NE(report.find("\"bottleneck\":\"flowctl\""), std::string::npos);
+  EXPECT_NE(report.find("\"spans\":"), std::string::npos);
+}
+
+// The span -> layer mapping table the DESIGN doc documents.
+TEST(SpanAccountantTest, LayerMappingAndQueueClassification) {
+  const auto span = [](std::string name, std::string category) {
+    TraceSpan s;
+    s.name = std::move(name);
+    s.category = std::move(category);
+    return s;
+  };
+  EXPECT_EQ(SpanAccountant::layer_of(span("write./f#0", "bb")), "client");
+  EXPECT_EQ(SpanAccountant::layer_of(span("read./f#0", "bb")), "client");
+  EXPECT_EQ(SpanAccountant::layer_of(span("flush.block_3", "bb")), "flusher");
+  EXPECT_EQ(SpanAccountant::layer_of(span("wait.flush_queue", "bb")),
+            "flusher");
+  EXPECT_EQ(SpanAccountant::layer_of(span("kv.set", "kv")), "kv");
+  EXPECT_EQ(SpanAccountant::layer_of(span("lustre.write", "lustre")),
+            "lustre");
+  EXPECT_EQ(SpanAccountant::layer_of(span("flowctl.stall", "flowctl")),
+            "flowctl");
+
+  EXPECT_TRUE(SpanAccountant::is_queue(span("flowctl.stall", "flowctl")));
+  EXPECT_TRUE(SpanAccountant::is_queue(span("wait.flush_queue", "bb")));
+  EXPECT_FALSE(SpanAccountant::is_queue(span("kv.set", "kv")));
+  EXPECT_FALSE(SpanAccountant::is_queue(span("flush.block_0", "bb")));
+}
+
+}  // namespace
+}  // namespace hpcbb::obs

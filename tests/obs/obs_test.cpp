@@ -54,6 +54,44 @@ TEST(SamplerTest, TimestampsStrictlyIncreaseEvenWhenStopLandsOnATick) {
   EXPECT_EQ(points.back().t_ns, 200 * us);
 }
 
+// stop() exactly on a tick boundary must produce ONE point for that instant
+// (not the tick's sample plus a duplicate final sample) and must not let the
+// already-scheduled next tick drag simulated time past quiescence. Two
+// spawn orders cover both event interleavings at the boundary: stop()
+// running before the tick would have fired, and right after it fired.
+TEST(SamplerTest, StopOnTickBoundaryKeepsOnePointAndDoesNotOvershoot) {
+  for (const bool stop_before_tick : {true, false}) {
+    Simulation sim;
+    TimeSeriesSampler sampler(sim, 100 * us);
+    sampler.watch_counter("ops");
+    // Events at equal time run in scheduling order. A single delay(200us) is
+    // scheduled at t=0, before the t=200us tick (scheduled at t=100us), so
+    // stop() runs first; splitting the delay re-schedules the stopper at
+    // t=150us, after the tick, so the tick samples first.
+    const auto workload = [stop_before_tick](
+                              Simulation& s,
+                              TimeSeriesSampler& sam) -> Task<void> {
+      sam.start();
+      if (stop_before_tick) {
+        co_await s.delay(200 * us);
+      } else {
+        co_await s.delay(150 * us);
+        co_await s.delay(50 * us);
+      }
+      sam.stop();
+    };
+    sim.spawn(workload(sim, sampler));
+    sim.run();
+    const auto& points = sampler.timeline();
+    ASSERT_EQ(points.size(), 3u) << "stop_before_tick=" << stop_before_tick;
+    EXPECT_EQ(points[0].t_ns, 0u);
+    EXPECT_EQ(points[1].t_ns, 100 * us);
+    EXPECT_EQ(points[2].t_ns, 200 * us);
+    // The cancelled trailing tick must not advance the clock to 300us.
+    EXPECT_EQ(sim.now(), 200 * us) << "stop_before_tick=" << stop_before_tick;
+  }
+}
+
 TEST(SamplerTest, StopTakesFinalSampleAtQuiescenceAndSimDrains) {
   Simulation sim;
   TimeSeriesSampler sampler(sim, 50 * us);
@@ -70,8 +108,8 @@ TEST(SamplerTest, StopTakesFinalSampleAtQuiescenceAndSimDrains) {
   ASSERT_GE(points.size(), 2u);
   EXPECT_EQ(points.back().t_ns, 120 * us);
   EXPECT_EQ(points.back().values[0], 42u);  // final sample sees the last add
-  // The pending tick fired after stop() without appending a sample.
-  EXPECT_GE(sim.now(), 120 * us);
+  // stop() cancelled the pending t=150us tick: quiescence is 120us exactly.
+  EXPECT_EQ(sim.now(), 120 * us);
 }
 
 TEST(SamplerTest, ProbesTrackCountersAndGaugesOverTime) {
@@ -142,7 +180,7 @@ TEST(ReportTest, SchemaShape) {
   sim.run();
 
   const std::string report = report_json(sim, &sampler);
-  EXPECT_NE(report.find("\"schema\":\"hpcbb.report.v1\""), std::string::npos);
+  EXPECT_NE(report.find("\"schema\":\"hpcbb.report.v2\""), std::string::npos);
   EXPECT_NE(report.find("\"sim_time_ns\":"), std::string::npos);
   EXPECT_NE(report.find("\"counters\":"), std::string::npos);
   EXPECT_NE(report.find("\"net.tx_bytes\":4096"), std::string::npos);
@@ -165,8 +203,9 @@ TEST(ReportTest, NoSamplerMeansNoTimeline) {
   Simulation sim;
   sim.metrics().counter("x").add(1);
   const std::string report = report_json(sim);
-  EXPECT_NE(report.find("\"schema\":\"hpcbb.report.v1\""), std::string::npos);
+  EXPECT_NE(report.find("\"schema\":\"hpcbb.report.v2\""), std::string::npos);
   EXPECT_EQ(report.find("\"timeline\":"), std::string::npos);
+  EXPECT_EQ(report.find("\"attribution\":"), std::string::npos);
 }
 
 }  // namespace

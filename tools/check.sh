@@ -6,6 +6,9 @@
 #   tools/check.sh --fast     # default configuration only
 #   tools/check.sh --chaos    # chaos-labeled tests + seeded bench_a4_chaos
 #                             # smoke, both under ASan+UBSan
+#   tools/check.sh --gate     # perf-regression gate: bench_m1_kv_micro +
+#                             # bench_f1_kv_latency vs bench/baselines/,
+#                             # plus an injected-regression self-test
 #
 # Build trees: build/ and build-sanitize/ at the repo root.
 set -euo pipefail
@@ -16,8 +19,31 @@ cd "${repo_root}"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 fast=0
 chaos=0
+gate=0
 [[ "${1:-}" == "--fast" ]] && fast=1
 [[ "${1:-}" == "--chaos" ]] && chaos=1
+[[ "${1:-}" == "--gate" ]] && gate=1
+
+if [[ "${gate}" == 1 ]]; then
+  echo "== gate: configure (RelWithDebInfo) =="
+  cmake -B build -S .
+  echo "== gate: build gated benches =="
+  cmake --build build -j "${jobs}" --target bench_f1_kv_latency bench_m1_kv_micro
+  out="$(mktemp -d)"
+  echo "== gate: bench_f1_kv_latency (simulated time, deterministic) =="
+  HPCBB_BENCH_OUT="${out}" ./build/bench/bench_f1_kv_latency --gate
+  echo "== gate: bench_m1_kv_micro (real time, loose tolerances) =="
+  HPCBB_BENCH_OUT="${out}" ./build/bench/bench_m1_kv_micro --gate \
+    --benchmark_min_time=0.02
+  echo "== gate: self-test (an injected 2x regression must fail) =="
+  if python3 tools/bench_gate.py check bench/baselines/f1.json \
+      "${out}/f1_result.json" --scale-candidate 2.0 >/dev/null; then
+    echo "gate self-test FAILED: a 2x regression passed the gate" >&2
+    exit 1
+  fi
+  echo "perf gate passed (and the self-test regression was caught)"
+  exit 0
+fi
 
 if [[ "${chaos}" == 1 ]]; then
   echo "== chaos: configure (Sanitize) =="

@@ -1,22 +1,24 @@
 #!/usr/bin/env python3
-"""Pretty-print and diff hpcbb experiment reports (schema hpcbb.report.v1).
+"""Pretty-print and diff hpcbb experiment reports (hpcbb.report.v1/v2).
 
 Usage:
     tools/report.py show report.json
     tools/report.py diff baseline.json candidate.json
 
-`show` renders counters, gauges (with high-watermarks), and histogram
-summaries as aligned tables. `diff` compares two reports metric-by-metric
-and prints absolute and relative deltas, flagging metrics present in only
-one report. Exit status for `diff` is 0 even when values differ — it is a
-reporting tool, not a gate.
+`show` renders counters, gauges (with high-watermarks), histogram
+summaries, and (v2) the latency-attribution section — per-layer time with
+its queue/service split plus the slowest ops and their bottleneck layers —
+as aligned tables. `diff` compares two reports metric-by-metric and prints
+absolute and relative deltas, flagging metrics present in only one report.
+Exit status for `diff` is 0 even when values differ — it is a reporting
+tool, not a gate (see tools/bench_gate.py for the gate).
 """
 
 import argparse
 import json
 import sys
 
-SCHEMA = "hpcbb.report.v1"
+SCHEMAS = ("hpcbb.report.v1", "hpcbb.report.v2")
 
 # Counters surfaced in the dedicated resilience section (retry/timeout
 # behaviour, injected faults, failover and failure-detector activity).
@@ -42,8 +44,9 @@ def load(path):
     with open(path) as f:
         report = json.load(f)
     schema = report.get("schema")
-    if schema != SCHEMA:
-        sys.exit(f"{path}: unsupported schema {schema!r} (want {SCHEMA!r})")
+    if schema not in SCHEMAS:
+        sys.exit(f"{path}: unsupported schema {schema!r} "
+                 f"(want one of {', '.join(map(repr, SCHEMAS))})")
     return report
 
 
@@ -126,6 +129,38 @@ def show(report):
         print(f"\ntimeline: {len(points)} samples x {len(series)} series, "
               f"interval {fmt_ns(timeline.get('interval_ns', 0))}")
 
+    attribution = report.get("attribution")
+    if attribution:
+        show_attribution(attribution)
+
+
+def show_attribution(attribution):
+    layers = attribution.get("layers", {})
+    print(f"\nattribution: {attribution.get('op_count', 0):,} ops")
+    if layers:
+        print("  layer        ops  bottleneck      total      queue"
+              "    service   queue%    p50(total)  p99(total)")
+        width = max(max(map(len, layers)), 8)
+        for name in sorted(layers):
+            lay = layers[name]
+            total = lay["total_ns"]
+            queue = lay["queue_ns"]
+            share = f"{queue / total:.0%}" if total else "-"
+            hist = lay.get("total", {})
+            print(f"  {name:<{width}}  {lay['ops']:>6,}  {lay['bottleneck_ops']:>10,}  "
+                  f"{fmt_ns(total):>9}  {fmt_ns(queue):>9}  "
+                  f"{fmt_ns(lay['service_ns']):>9}  {share:>7}  "
+                  f"{fmt_ns(hist.get('p50', 0)):>12}  {fmt_ns(hist.get('p99', 0)):>10}")
+    top = attribution.get("top_ops", [])
+    if top:
+        print(f"\n  slowest {len(top)} ops (critical-path breakdown):")
+        for op in top:
+            parts = "  ".join(
+                f"{lay['layer']} {fmt_ns(lay['total_ns'])}"
+                f" (q {fmt_ns(lay['queue_ns'])})" for lay in op.get("layers", []))
+            print(f"    op {op['op_id']:<6} e2e {fmt_ns(op['e2e_ns']):>9}  "
+                  f"bottleneck {op.get('bottleneck', '-'):<9}  {parts}")
+
 
 def delta_line(name, a, b, width):
     if a == b:
@@ -176,6 +211,14 @@ def diff(baseline, candidate):
     diff_section("histograms (p99)", baseline.get("histograms", {}),
                  candidate.get("histograms", {}),
                  lambda a, b: (a["p99"], b["p99"]))
+    diff_section("attribution layers (total_ns)",
+                 baseline.get("attribution", {}).get("layers", {}),
+                 candidate.get("attribution", {}).get("layers", {}),
+                 lambda a, b: (a["total_ns"], b["total_ns"]))
+    diff_section("attribution layers (queue_ns)",
+                 baseline.get("attribution", {}).get("layers", {}),
+                 candidate.get("attribution", {}).get("layers", {}),
+                 lambda a, b: (a["queue_ns"], b["queue_ns"]))
 
 
 def main():
