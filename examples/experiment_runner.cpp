@@ -19,6 +19,9 @@
 // policy), kv.failover={0,1}, bb.heartbeat=<duration> (failure detector,
 // 0 = off), bb.suspect_after / bb.dead_after, and faults.* (deterministic
 // fault injection) — see examples/example.conf for the full key list.
+// Integrity (DESIGN.md §13): kv.scrub.interval=<duration> (background
+// scrubber, 0 = off), kv.scrub.pace=<duration>, and the corruption schedule
+// faults.corrupt.first / period (durations) / count.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -101,6 +104,32 @@ int main(int argc, char** argv) {
   config.bb_dead_after = static_cast<std::uint32_t>(
       props.get_u64_or("bb.dead_after", config.bb_dead_after));
   config.faults = faults::InjectorParams::from_properties(props, config.faults);
+  // Integrity: the background scrubber (kv.scrub.interval > 0 turns it on)
+  // and the corruption schedule (faults.corrupt.*). A malformed duration or
+  // count here is a configuration error, not a silent fallback — a chaos
+  // run that quietly dropped its corruption schedule would report a clean
+  // integrity section and prove nothing.
+  for (const char* key : {"kv.scrub.interval", "kv.scrub.pace",
+                          "faults.corrupt.first", "faults.corrupt.period"}) {
+    if (!props.contains(key)) continue;
+    const auto parsed = props.get_duration_ns(key);
+    if (!parsed.is_ok()) {
+      std::fprintf(stderr, "bad config: %s\n",
+                   parsed.status().to_string().c_str());
+      return 2;
+    }
+  }
+  if (props.contains("faults.corrupt.count")) {
+    const auto parsed = props.get_u64("faults.corrupt.count");
+    if (!parsed.is_ok()) {
+      std::fprintf(stderr, "bad config: %s\n",
+                   parsed.status().to_string().c_str());
+      return 2;
+    }
+  }
+  config.bb_scrub.interval_ns =
+      props.get_duration_ns_or("kv.scrub.interval", 0);
+  config.bb_scrub.chunk_pace_ns = props.get_duration_ns_or("kv.scrub.pace", 0);
   const std::string scheme = props.get_or("bb.scheme", "async");
   config.scheme = scheme == "sync"    ? bb::Scheme::kSync
                   : scheme == "local" ? bb::Scheme::kLocal
@@ -138,7 +167,9 @@ int main(int argc, char** argv) {
         "kv.put_bytes", "kv.evictions", "lustre.write_bytes",
         "lustre.read_bytes", "hdfs.dn.write_bytes", "flowctl.stalls",
         "net.retry.attempts", "kv.failover.set",
-        "kv.repl.repair_bytes", "kv.repl.anti_entropy_bytes"}) {
+        "kv.repl.repair_bytes", "kv.repl.anti_entropy_bytes",
+        "kv.integrity.detected", "kv.integrity.repaired",
+        "kv.scrub.chunks", "bb.quarantined_blocks"}) {
     sampler.watch_counter(counter);
   }
   for (const char* gauge :

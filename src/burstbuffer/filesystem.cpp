@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <span>
 
 #include "common/crc32c.h"
 #include "sim/sync.h"
@@ -111,6 +112,7 @@ class BbWriter final : public fs::Writer {
     block_bytes_ = 0;
     block_crc_ = 0;
     next_chunk_ = 0;
+    chunk_crcs_.clear();
     block_open_ = true;
     co_return Status::ok();
   }
@@ -121,12 +123,23 @@ class BbWriter final : public fs::Writer {
     const std::uint32_t chunk_index = next_chunk_++;
     const std::uint64_t chunk_offset =
         static_cast<std::uint64_t>(chunk_index) * bbfs_->params_.chunk_size;
+    // Per-chunk CRC over the logical (unpadded) bytes: chunks are emitted
+    // in order, so the vector index is the chunk index.
+    chunk_crcs_.push_back(crc32c(chunk_buf_));
     BytesPtr payload = make_bytes(std::move(chunk_buf_));
     chunk_buf_.clear();
 
     co_await window_.acquire();
     bbfs_->hub_->transport().fabric().simulation().spawn(
         store_chunk(chunk_index, chunk_offset, std::move(payload)));
+    if (!first_error_.is_ok()) {
+      // A previous chunk store failed and this error will abort the write.
+      // The caller is free to destroy the writer as soon as it sees it, so
+      // every detached store_chunk (including the one just spawned) must be
+      // drained first — they hold `this`.
+      co_await window_.acquire(bbfs_->params_.write_window);
+      window_.release(bbfs_->params_.write_window);
+    }
     co_return first_error_;
   }
 
@@ -223,6 +236,7 @@ class BbWriter final : public fs::Writer {
     req->block_index = block_index_;
     req->size = block_bytes_;
     req->crc32c = block_crc_;
+    req->chunk_crcs = chunk_crcs_;
     req->already_durable = write_through_;
     req->op_id = op_id_;
     if (agent_ != nullptr && local_replica_ok_) {
@@ -268,6 +282,7 @@ class BbWriter final : public fs::Writer {
   std::uint64_t block_bytes_ = 0;
   std::uint64_t total_bytes_ = 0;
   std::uint32_t block_crc_ = 0;
+  std::vector<std::uint32_t> chunk_crcs_;
   Bytes chunk_buf_;
   std::optional<lustre::FileLayout> lustre_layout_;
   Status first_error_;
@@ -317,31 +332,49 @@ class BbReader final : public fs::Reader {
 
  private:
   // Read one block's range, preferring: node-local RAM-disk replica, then
-  // the burst buffer (RDMA), then Lustre (after flush/eviction).
+  // the burst buffer (RDMA), then Lustre (after flush/eviction). Every path
+  // verifies per-chunk CRCs; a corrupt copy falls through to the next tier
+  // instead of being served, and only the last tier turns it into an error.
   sim::Task<Result<Bytes>> read_block(const BbBlockInfo& block,
                                       std::uint64_t offset,
                                       std::uint64_t length,
                                       std::uint64_t op_id) {
+    sim::Simulation& sim = bbfs_->hub_->transport().fabric().simulation();
+    // Chunk-aligned covering range: block-object tiers (local replica,
+    // Lustre) read whole chunks so partial reads are verifiable against the
+    // per-chunk CRCs, then slice to the caller's range.
+    const std::uint64_t chunk = bbfs_->params_.chunk_size;
+    const std::uint64_t aligned_off = offset / chunk * chunk;
+    const std::uint64_t aligned_end =
+        std::min(block.size, ((offset + length - 1) / chunk + 1) * chunk);
+    const std::uint64_t aligned_len = aligned_end - aligned_off;
+    const std::uint64_t skip = offset - aligned_off;
+
     // 1. Node-local replica (BB-Local).
     if (block.local_node.has_value()) {
       auto req = std::make_shared<const AgentReadRequest>(AgentReadRequest{
-          local_object(path_, block.index), offset, length});
+          local_object(path_, block.index), aligned_off, aligned_len});
       auto result = co_await bbfs_->hub_->call<AgentReadReply>(
           client_, *block.local_node, kAgentRead, req);
       if (result.is_ok()) {
         Bytes data(*result.value()->data);
-        if (Status st = validate(block, offset, length, data); !st.is_ok()) {
-          co_return st;
+        if (validate(block, aligned_off, data).is_ok()) {
+          co_return Bytes(
+              data.begin() + static_cast<std::ptrdiff_t>(skip),
+              data.begin() + static_cast<std::ptrdiff_t>(skip + length));
         }
-        co_return data;
+        // Corrupt RAM-disk copy: the buffer and Lustre hold independent
+        // copies — fall through instead of failing the read.
+        sim.metrics().counter("bb.read.local_crc_failures").add();
       }
     }
 
-    // 2. Burst buffer: fetch the covering chunks in parallel.
+    // 2. Burst buffer: fetch the covering chunks in parallel. A corrupt
+    // buffer copy (kDataLoss) also falls through: once the block is
+    // flushed, Lustre is the authoritative repair source.
     Result<Bytes> buffered =
         co_await read_from_buffer(block, offset, length, op_id);
     if (buffered.is_ok()) co_return std::move(buffered).value();
-    if (buffered.code() == StatusCode::kDataLoss) co_return buffered.status();
 
     // 3. Lustre, once the block is durable there. The location snapshot
     // may be stale (flush completed after open): refresh once.
@@ -357,26 +390,28 @@ class BbReader final : public fs::Reader {
       auto layout = co_await lustre_.lookup(client_, bbfs_->params_.lustre_prefix + path_);
       if (!layout.is_ok()) co_return layout.status();
       const std::uint64_t file_offset =
-          static_cast<std::uint64_t>(block.index) * meta_.block_size + offset;
-      Result<Bytes> data = co_await lustre_.read(client_, layout.value(),
-                                                 file_offset, length, op_id);
+          static_cast<std::uint64_t>(block.index) * meta_.block_size +
+          aligned_off;
+      Result<Bytes> data = co_await lustre_.read(
+          client_, layout.value(), file_offset, aligned_len, op_id);
       if (!data.is_ok()) co_return data.status();
       // The buffer copy was evicted (or never promoted): served from Lustre.
-      bbfs_->hub_->transport()
-          .fabric()
-          .simulation()
-          .metrics()
-          .counter("bb.read.lustre_fallbacks")
-          .add();
-      if (Status st = validate(block, offset, length, data.value());
+      sim.metrics().counter("bb.read.lustre_fallbacks").add();
+      if (Status st = validate(block, aligned_off, data.value());
           !st.is_ok()) {
+        // Last tier: corrupt here (with every earlier tier exhausted) is a
+        // hard read failure, never silently served.
+        sim.metrics().counter("bb.read.lustre_crc_failures").add();
         co_return st;
       }
       if (bbfs_->params_.promote_on_read) {
-        promote(block, offset, data.value());
+        promote(block, aligned_off, data.value());
       }
-      co_return std::move(data).value();
+      co_return Bytes(
+          data.value().begin() + static_cast<std::ptrdiff_t>(skip),
+          data.value().begin() + static_cast<std::ptrdiff_t>(skip + length));
     }
+    if (buffered.code() == StatusCode::kDataLoss) co_return buffered.status();
     co_return error(StatusCode::kDataLoss,
                     "block " + std::to_string(block.index) +
                         " unavailable in buffer and not yet durable");
@@ -399,10 +434,31 @@ class BbReader final : public fs::Reader {
     std::vector<Result<BytesPtr>> pieces = co_await sim::parallel_collect(
         bbfs_->hub_->transport().fabric().simulation(), std::move(gets));
 
+    const std::uint64_t expected_chunks =
+        (block.size + chunk_size - 1) / chunk_size;
+    const bool have_crcs = block.chunk_crcs.size() == expected_chunks;
     Bytes assembled;
     assembled.reserve(static_cast<std::size_t>(last - first + 1) * chunk_size);
-    for (auto& piece : pieces) {
+    for (std::uint32_t c = first; c <= last; ++c) {
+      auto& piece = pieces[c - first];
       if (!piece.is_ok()) co_return piece.status();  // miss or server down
+      // Verify each fetched chunk against the writer-registered CRC over
+      // its logical prefix (stored values are padded to the slab class).
+      // The KV layer already catches in-store bit rot; this catches a value
+      // that is internally consistent but not what the writer sealed.
+      const std::uint64_t logical = std::min(
+          chunk_size, block.size - static_cast<std::uint64_t>(c) * chunk_size);
+      if (have_crcs && piece.value()->size() >= logical &&
+          crc32c(std::span<const std::uint8_t>(piece.value()->data(),
+                                               logical)) !=
+              block.chunk_crcs[c]) {
+        bbfs_->hub_->transport().fabric().simulation().metrics()
+            .counter("bb.read.buffer_crc_failures").add();
+        co_return error(StatusCode::kDataLoss,
+                        "chunk " + std::to_string(c) +
+                            " checksum mismatch in buffer for block " +
+                            std::to_string(block.index));
+      }
       assembled.insert(assembled.end(), piece.value()->begin(),
                        piece.value()->end());
     }
@@ -412,8 +468,12 @@ class BbReader final : public fs::Reader {
     }
     Bytes out(assembled.begin() + static_cast<std::ptrdiff_t>(skip),
               assembled.begin() + static_cast<std::ptrdiff_t>(skip + length));
-    if (Status st = validate(block, offset, length, out); !st.is_ok()) {
-      co_return st;
+    // Full-block reads also check the rolling block CRC (end-to-end: the
+    // concatenation matches what the writer streamed, not just each chunk).
+    if (offset == 0 && length == block.size && crc32c(out) != block.crc32c) {
+      co_return error(StatusCode::kDataLoss,
+                      "checksum mismatch on block " +
+                          std::to_string(block.index));
     }
     co_return out;
   }
@@ -451,12 +511,38 @@ class BbReader final : public fs::Reader {
                           /*pinned=*/false);
   }
 
-  // End-to-end checksum on full-block reads.
-  static Status validate(const BbBlockInfo& block, std::uint64_t offset,
-                         std::uint64_t length, const Bytes& data) {
-    if (offset == 0 && length == block.size && crc32c(data) != block.crc32c) {
-      return error(StatusCode::kDataLoss,
-                   "checksum mismatch on block " + std::to_string(block.index));
+  // Verify `data` — which starts at chunk-aligned `aligned_off` within the
+  // block and covers whole chunks (the last possibly short at the block
+  // tail) — against the writer-registered per-chunk CRCs. This covers
+  // partial reads, which the rolling block CRC (the pre-chunk-CRC scheme,
+  // kept as a fallback for metadata sealed without per-chunk provenance)
+  // cannot.
+  Status validate(const BbBlockInfo& block, std::uint64_t aligned_off,
+                  const Bytes& data) const {
+    const std::uint64_t chunk = bbfs_->params_.chunk_size;
+    const std::uint64_t expected = (block.size + chunk - 1) / chunk;
+    if (block.chunk_crcs.size() != expected) {
+      if (aligned_off == 0 && data.size() == block.size &&
+          crc32c(data) != block.crc32c) {
+        return error(StatusCode::kDataLoss,
+                     "checksum mismatch on block " +
+                         std::to_string(block.index));
+      }
+      return Status::ok();
+    }
+    std::uint64_t pos = 0;
+    while (pos < data.size()) {
+      const std::uint64_t c = (aligned_off + pos) / chunk;
+      const std::uint64_t logical = std::min(chunk, block.size - c * chunk);
+      if (pos + logical > data.size()) break;  // under-covered tail
+      if (crc32c(std::span<const std::uint8_t>(data.data() + pos, logical)) !=
+          block.chunk_crcs[static_cast<std::size_t>(c)]) {
+        return error(StatusCode::kDataLoss,
+                     "chunk " + std::to_string(c) +
+                         " checksum mismatch on block " +
+                         std::to_string(block.index));
+      }
+      pos += logical;
     }
     return Status::ok();
   }

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdlib>
+#include <span>
 
+#include "common/crc32c.h"
 #include "common/metrics.h"
 
 namespace hpcbb::bb {
@@ -94,6 +96,18 @@ Master::Master(net::RpcHub& hub, net::NodeId node,
     recovery_->set_recovery_done(
         [this](std::uint32_t i) { on_recovery_complete(i); });
     recovery_->set_flow_control(&flowctl_);
+  }
+  if (params_.scrub.interval_ns > 0) {
+    scrubber_ = std::make_unique<integrity::Scrubber>(
+        *hub_, node_, kv_servers_, lustre_mds, params_.kv_client,
+        params_.scrub, params_.lustre_prefix);
+    scrubber_->set_inventory([this] { return scrub_inventory(); });
+    scrubber_->set_quarantine(
+        [this](const std::string& path, std::uint32_t block_index) {
+          quarantine_block(path, block_index);
+        });
+    scrubber_->set_flow_control(&flowctl_);
+    scrubber_->start();
   }
 }
 
@@ -339,6 +353,7 @@ sim::Task<net::RpcResponse> Master::handle_complete_block(
   }
   block.size = req->size;
   block.crc32c = req->crc32c;
+  block.chunk_crcs = req->chunk_crcs;
   block.local_node = req->local_node;
   if (recovery_ != nullptr && req->size > 0) {
     // Record where the block's chunks live: the union of the chunks' ring
@@ -446,7 +461,8 @@ sim::Task<net::RpcResponse> Master::handle_delete(
         break;
       case BlockState::kOpen:
       case BlockState::kLost:
-        release_reservation(block);  // e.g. added but never sealed
+      case BlockState::kQuarantined:  // accounting settled when quarantined
+        release_reservation(block);   // e.g. added but never sealed
         break;
     }
     const std::uint32_t chunks = static_cast<std::uint32_t>(
@@ -504,8 +520,88 @@ void Master::finish_block(const std::string& path, BbBlockInfo& block,
   } else if (state == BlockState::kLost) {
     ++lost_blocks_;
     flowctl_.drop_dirty(block_footprint(block.size));
+  } else if (state == BlockState::kQuarantined) {
+    // Corrupt on every copy before it could be flushed: the dirty bytes
+    // leave the buffer accounting, but the flusher will never write them.
+    ++quarantined_blocks_;
+    flowctl_.drop_dirty(block_footprint(block.size));
+    hub_->transport().fabric().simulation().metrics()
+        .counter("bb.quarantined_blocks").add();
   }
   if (dirty_or_flushing_ == 0) flush_done_.notify_all();
+}
+
+void Master::quarantine_block(const std::string& path,
+                              std::uint32_t block_index) {
+  const auto it = files_.find(path);
+  if (it == files_.end() || block_index >= it->second.blocks.size()) return;
+  BbBlockInfo& block = it->second.blocks[block_index];
+  if (block.state != BlockState::kDirty) return;
+  sim::Simulation& sim = hub_->transport().fabric().simulation();
+  if (trace_ != nullptr) {
+    trace_->record("quarantine." + local_object(path, block_index), "bb",
+                   static_cast<std::uint32_t>(node_), sim.now(), sim.now());
+  }
+  // The queued flush item finds the block no longer kDirty and skips it.
+  finish_block(path, block, BlockState::kQuarantined);
+}
+
+std::vector<integrity::ScrubChunk> Master::scrub_inventory() const {
+  std::vector<integrity::ScrubChunk> out;
+  for (const auto& [path, meta] : files_) {
+    for (const BbBlockInfo& block : meta.blocks) {
+      if (block.size == 0) continue;
+      // kFlushing is skipped: the flusher is mid-read and verifies the
+      // assembled block itself before writing Lustre.
+      if (block.state != BlockState::kDirty &&
+          block.state != BlockState::kFlushed) {
+        continue;
+      }
+      const auto chunks = static_cast<std::uint32_t>(
+          (block.size + params_.chunk_size - 1) / params_.chunk_size);
+      if (block.chunk_crcs.size() != chunks) continue;  // no provenance
+      const bool durable = block.state == BlockState::kFlushed;
+      for (std::uint32_t c = 0; c < chunks; ++c) {
+        const std::uint64_t c_start =
+            static_cast<std::uint64_t>(c) * params_.chunk_size;
+        integrity::ScrubChunk chunk;
+        chunk.key = chunk_key(path, block.index, c);
+        chunk.path = path;
+        chunk.block_index = block.index;
+        chunk.chunk_index = c;
+        chunk.crc = block.chunk_crcs[c];
+        chunk.logical_len = std::min(params_.chunk_size, block.size - c_start);
+        chunk.padded_len = params_.chunk_size;
+        chunk.lustre_offset =
+            static_cast<std::uint64_t>(block.index) * params_.block_size +
+            c_start;
+        chunk.durable = durable;
+        chunk.pinned = !durable;
+        out.push_back(std::move(chunk));
+      }
+    }
+  }
+  return out;
+}
+
+bool Master::block_matches_crcs(const BbBlockInfo& block,
+                                const Bytes& data) const {
+  const auto chunks = static_cast<std::uint32_t>(
+      (block.size + params_.chunk_size - 1) / params_.chunk_size);
+  if (block.chunk_crcs.size() != chunks) {
+    return block.size == 0 || crc32c(data) == block.crc32c;
+  }
+  std::uint64_t pos = 0;
+  for (std::uint32_t c = 0; c < chunks; ++c) {
+    const std::uint64_t logical =
+        std::min(params_.chunk_size, block.size - pos);
+    if (crc32c(std::span<const std::uint8_t>(data.data() + pos, logical)) !=
+        block.chunk_crcs[c]) {
+      return false;
+    }
+    pos += logical;
+  }
+  return true;
 }
 
 sim::Task<void> Master::wait_all_flushed() {
@@ -600,11 +696,15 @@ sim::Task<Status> Master::flush_block(std::uint32_t worker_index,
   Bytes data;
   data.reserve(block_size);
   bool buffer_ok = true;
+  bool corrupt = false;
   for (std::uint32_t c = 0; c < chunks && buffer_ok; ++c) {
     Result<BytesPtr> piece =
         co_await kv.get(chunk_key(item.path, block_index, c), item.op_id);
     if (!piece.is_ok()) {
       buffer_ok = false;
+      // The verified-read client only reports kDataLoss once EVERY replica
+      // failed its checksum — this chunk will not heal with a retry.
+      corrupt = piece.code() == StatusCode::kDataLoss;
       break;
     }
     data.insert(data.end(), piece.value()->begin(), piece.value()->end());
@@ -628,7 +728,24 @@ sim::Task<Status> Master::flush_block(std::uint32_t worker_index,
 
   // Buffer chunks are padded to uniform size; trim to the logical block.
   if (buffer_ok && data.size() > block_size) data.resize(block_size);
+  // Whatever source produced the block — buffer chunks or the node-local
+  // replica — it must match the writer-registered CRCs before it may touch
+  // Lustre. Never persist corrupt bytes.
+  if (buffer_ok && data.size() == block_size &&
+      !block_matches_crcs(*block, data)) {
+    buffer_ok = false;
+    corrupt = true;
+  }
   if (!buffer_ok || data.size() != block_size) {
+    if (corrupt) {
+      // Corruption does not heal with a requeue: every copy failed its
+      // checksum. Quarantine the block so the flusher never writes the
+      // corrupt bytes, and surface the loss instead of hiding it.
+      finish_block(item.path, *block, BlockState::kQuarantined);
+      co_return error(StatusCode::kDataLoss,
+                      "block " + std::to_string(block_index) +
+                          " corrupt on every copy; quarantined before flush");
+    }
     // With replication armed, a failed buffer read is not yet loss while
     // the cluster is visibly unhealthy (or within a short grace window the
     // detector has not caught up to): primary-ack replica writes and

@@ -12,6 +12,7 @@
 
 #include "burstbuffer/protocol.h"
 #include "flowctl/controller.h"
+#include "integrity/scrubber.h"
 #include "kvstore/client.h"
 #include "lustre/client.h"
 #include "net/rpc.h"
@@ -47,6 +48,9 @@ struct MasterParams {
   // repl::RecoveryManager off the failure detector (re-replication on
   // death, anti-entropy on rejoin).
   kv::ClientParams kv_client;
+  // Background integrity scrubber over the sealed buffer-resident chunks
+  // (interval 0 = off, the seed behaviour). See integrity/scrubber.h.
+  integrity::ScrubParams scrub;
 };
 
 // Failure-detector verdict for one KV server. kRecovering: the server
@@ -97,6 +101,9 @@ class Master {
   [[nodiscard]] std::uint64_t recovered_blocks() const noexcept {
     return recovered_blocks_;
   }
+  [[nodiscard]] std::uint64_t quarantined_blocks() const noexcept {
+    return quarantined_blocks_;
+  }
   [[nodiscard]] std::uint64_t flush_queue_depth() const noexcept {
     return flush_queue_depth_;
   }
@@ -113,10 +120,24 @@ class Master {
   }
   [[nodiscard]] std::uint32_t live_kv_count() const noexcept;
   [[nodiscard]] std::uint32_t suspect_kv_count() const noexcept;
-  // Stop the periodic prober (it wakes at most once more). Harnesses call
-  // this when the measured phase ends so the simulation can run to
-  // quiescence — otherwise the probe timer keeps the event queue alive.
-  void stop_heartbeat() noexcept { heartbeat_stop_ = true; }
+  // Stop the periodic prober and the integrity scrubber (each wakes at most
+  // once more). Harnesses call this when the measured phase ends so the
+  // simulation can run to quiescence — otherwise the periodic timers keep
+  // the event queue alive.
+  void stop_heartbeat() noexcept {
+    heartbeat_stop_ = true;
+    if (scrubber_ != nullptr) scrubber_->stop();
+  }
+
+  // Quarantine a dirty block whose data is corrupt on every copy: the
+  // flusher will never persist it to Lustre, and reads fail with kDataLoss
+  // instead of silently serving garbage. No-op unless the block is kDirty.
+  void quarantine_block(const std::string& path, std::uint32_t block_index);
+
+  // Background integrity scrubber (null unless scrub.interval_ns > 0).
+  [[nodiscard]] integrity::Scrubber* scrubber() noexcept {
+    return scrubber_.get();
+  }
 
   // Memory-pressure management (watermarks, eviction, writer backpressure).
   [[nodiscard]] flowctl::CapacityController& flow_control() noexcept {
@@ -192,6 +213,12 @@ class Master {
   // Inventory of buffer-resident replicated chunks for the recovery
   // manager (every sealed block's chunk keys, with pin state).
   [[nodiscard]] std::vector<repl::ChunkRef> replicated_chunks() const;
+  // Inventory of scrubbable chunks (sealed blocks with CRC provenance).
+  [[nodiscard]] std::vector<integrity::ScrubChunk> scrub_inventory() const;
+  // Does `data` (exactly block.size bytes) match the writer-registered
+  // CRCs? Falls back to the rolling block CRC without per-chunk provenance.
+  [[nodiscard]] bool block_matches_crcs(const BbBlockInfo& block,
+                                        const Bytes& data) const;
   sim::Task<void> flush_worker(std::uint32_t worker_index);
   sim::Task<Status> flush_block(std::uint32_t worker_index,
                                 const FlushItem& item);
@@ -221,6 +248,7 @@ class Master {
   std::unique_ptr<kv::Client> probe_client_;  // heartbeat pings, from node_
   std::vector<PeerHealth> peer_health_;
   std::unique_ptr<repl::RecoveryManager> recovery_;
+  std::unique_ptr<integrity::Scrubber> scrubber_;
   bool heartbeat_stop_ = false;
   bool degraded_ = false;
   sim::SimTime degraded_since_ = 0;
@@ -236,6 +264,7 @@ class Master {
   std::uint64_t flushed_bytes_ = 0;
   std::uint64_t lost_blocks_ = 0;
   std::uint64_t recovered_blocks_ = 0;
+  std::uint64_t quarantined_blocks_ = 0;
 };
 
 }  // namespace hpcbb::bb

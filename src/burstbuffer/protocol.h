@@ -33,6 +33,10 @@ enum class BlockState {
   kFlushing,  // a flusher is draining it to Lustre
   kFlushed,   // durable on Lustre (buffer copy may remain or be evicted)
   kLost,      // dirty data lost with a crashed buffer server
+  // Dirty data failed checksum verification on every copy before it could
+  // be flushed: quarantined so the flusher never persists corrupt bytes to
+  // Lustre. Reads fail with kDataLoss instead of silently serving garbage.
+  kQuarantined,
 };
 
 // AddBlock sentinel: "writer makes no claim about the next index".
@@ -79,6 +83,12 @@ struct BbCompleteBlockRequest {
   std::uint32_t block_index = 0;
   std::uint64_t size = 0;
   std::uint32_t crc32c = 0;
+  // Per-chunk CRCs over each chunk's logical (unpadded) bytes, in chunk
+  // order. They let readers verify partial reads — the rolling block CRC
+  // only covers full-block reads. Like the KV reply CRC, this provenance
+  // rides the fixed header budget: wire_size is deliberately unchanged so
+  // healthy-run timing stays bit-identical for the perf gates.
+  std::vector<std::uint32_t> chunk_crcs;
   bool already_durable = false;           // BB-Sync wrote through to Lustre
   std::optional<net::NodeId> local_node;  // BB-Local replica location
   std::uint64_t op_id = 0;  // causal trace id: writer -> master -> flusher
@@ -99,6 +109,9 @@ struct BbBlockInfo {
   std::uint32_t index = 0;
   std::uint64_t size = 0;
   std::uint32_t crc32c = 0;
+  // Writer-registered per-chunk CRCs (logical bytes, chunk order): the
+  // checksum provenance readers, flushers, and the scrubber verify against.
+  std::vector<std::uint32_t> chunk_crcs;
   BlockState state = BlockState::kOpen;
   std::optional<net::NodeId> local_node;
   bool reservation_held = false;  // master-internal admission bookkeeping

@@ -101,6 +101,7 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   master_params.suspect_after = config_.bb_suspect_after;
   master_params.dead_after = config_.bb_dead_after;
   master_params.kv_client = config_.kv_client;
+  master_params.scrub = config_.bb_scrub;
   bb_master_ = std::make_unique<bb::Master>(*fast_hub_, bb_master_node_,
                                             kv_nodes_, mds_node_,
                                             config_.scheme, master_params);
@@ -137,11 +138,30 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
       injector_->add_device_target("kv" + std::to_string(i) + ".journal",
                                    journal);
     }
+    // KV slabs are corruption targets: scheduled bit-flips / torn writes /
+    // stale reads land on resident values, to be caught by verified reads.
+    injector_->add_corrupt_target(
+        "kv" + std::to_string(i),
+        [server](const std::string& object, std::uint64_t selector,
+                 CorruptKind kind) {
+          return server->store().corrupt_one(selector, kind, object);
+        });
   }
   for (std::uint32_t i = 0; i < config_.oss_count; ++i) {
     injector_->add_device_target("oss" + std::to_string(i),
                                  &osses_[i]->device());
+    // OSS object stores serve the hook installed by their LocalStore.
+    storage::Device* device = &osses_[i]->device();
+    injector_->add_corrupt_target(
+        "oss" + std::to_string(i),
+        [device](const std::string& object, std::uint64_t selector,
+                 CorruptKind kind) {
+          return device->corrupt(object, selector, kind);
+        });
   }
+  // DataNode disks route corrupt_block (and scheduled corruption) through
+  // the injector so HDFS corruption ticks faults.injected{kind=corrupt.*}.
+  for (auto& dn : datanodes_) dn->attach_fault_injector(injector_.get());
   injector_->start();
 }
 

@@ -25,6 +25,7 @@
 #include "hdfs/client.h"
 #include "hdfs/datanode.h"
 #include "hdfs/namenode.h"
+#include "integrity/scrubber.h"
 #include "kvstore/server.h"
 #include "lustre/client.h"
 #include "lustre/mds.h"
@@ -104,8 +105,11 @@ struct ClusterConfig {
   std::uint32_t bb_suspect_after = 2;
   std::uint32_t bb_dead_after = 4;
   // Deterministic fault injection (disabled by default). Crash targets are
-  // the KV servers; limp targets are the OSS devices and KV journal SSDs.
+  // the KV servers; limp targets are the OSS devices and KV journal SSDs;
+  // corruption targets are the KV stores, OSS devices, and DataNode disks.
   faults::InjectorParams faults;
+  // Background integrity scrubber over the burst buffer (0 interval = off).
+  integrity::ScrubParams bb_scrub;
 };
 
 class Cluster {

@@ -1,0 +1,64 @@
+// Deterministic data-corruption primitives shared by the fault injector,
+// the KV store, and storage devices. Every kind is guaranteed to change at
+// least one byte of the buffer it is applied to (burst-buffer chunks are
+// zero-padded, so "zero the tail" alone could be a silent no-op), and none
+// of them touches stored checksums — detection is always possible.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace hpcbb {
+
+enum class CorruptKind {
+  kBitFlip,    // flip one bit at a selector-derived offset
+  kTornWrite,  // zero the tail half, as if a write stopped mid-flight
+  kStaleRead,  // XOR a rolling pattern, as if an old version leaked through
+};
+
+[[nodiscard]] constexpr std::string_view to_string(CorruptKind kind) noexcept {
+  switch (kind) {
+    case CorruptKind::kBitFlip: return "corrupt.bitflip";
+    case CorruptKind::kTornWrite: return "corrupt.torn_write";
+    case CorruptKind::kStaleRead: return "corrupt.stale_read";
+  }
+  return "corrupt.unknown";
+}
+
+// Mutate `data` in place. `selector` picks the position deterministically;
+// the same (data, kind, selector) always yields the same mutation. Empty
+// buffers are left alone (returns false); otherwise at least one byte is
+// guaranteed to differ afterwards and the function returns true.
+inline bool apply_corruption(std::span<std::uint8_t> data, CorruptKind kind,
+                             std::uint64_t selector) noexcept {
+  if (data.empty()) return false;
+  switch (kind) {
+    case CorruptKind::kBitFlip: {
+      data[selector % data.size()] ^=
+          static_cast<std::uint8_t>(1u << (selector % 8));
+      return true;
+    }
+    case CorruptKind::kTornWrite: {
+      // Zeroing alone can be a no-op on zero-padded tails, so force one
+      // byte at the tear point to a sentinel that is never its own value.
+      const std::size_t tear = data.size() / 2;
+      for (std::size_t i = tear; i < data.size(); ++i) data[i] = 0;
+      data[tear] = data[tear] == 0xA5 ? 0x5A : 0xA5;
+      return true;
+    }
+    case CorruptKind::kStaleRead: {
+      // XOR with a nonzero rolling pattern: every 64th byte (at least one).
+      bool changed = false;
+      for (std::size_t i = selector % 64; i < data.size(); i += 64) {
+        data[i] ^= 0x5A;
+        changed = true;
+      }
+      if (!changed) data[selector % data.size()] ^= 0x5A;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace hpcbb

@@ -89,12 +89,22 @@ double Properties::get_double_or(const std::string& key,
   }
 }
 
+Result<std::uint64_t> Properties::get_duration_ns(
+    const std::string& key) const {
+  const auto v = get(key);
+  if (!v) return error(StatusCode::kNotFound, "missing key: " + key);
+  const auto parsed = parse_duration_ns(*v);
+  if (!parsed) {
+    return error(StatusCode::kInvalidArgument,
+                 "key " + key + ": not a duration (want e.g. 100ms): " + *v);
+  }
+  return *parsed;
+}
+
 std::uint64_t Properties::get_duration_ns_or(const std::string& key,
                                              std::uint64_t fallback) const {
-  const auto v = get(key);
-  if (!v) return fallback;
-  const auto parsed = parse_duration_ns(*v);
-  return parsed ? *parsed : fallback;
+  const auto r = get_duration_ns(key);
+  return r.is_ok() ? r.value() : fallback;
 }
 
 bool Properties::get_bool_or(const std::string& key, bool fallback) const {

@@ -32,6 +32,11 @@ class Properties {
   [[nodiscard]] double get_double_or(const std::string& key,
                                      double fallback) const;
   // Accepts duration suffixes ns/us/ms/s: "100ms" -> 100'000'000 ns.
+  // get_duration_ns distinguishes a missing key (kNotFound) from a value
+  // that is not a duration (kInvalidArgument) so callers can reject
+  // malformed configuration instead of silently using the fallback.
+  [[nodiscard]] Result<std::uint64_t> get_duration_ns(
+      const std::string& key) const;
   [[nodiscard]] std::uint64_t get_duration_ns_or(const std::string& key,
                                                  std::uint64_t fallback) const;
   [[nodiscard]] bool get_bool_or(const std::string& key, bool fallback) const;

@@ -37,6 +37,12 @@ InjectorParams InjectorParams::from_properties(const Properties& props,
   p.limp_factor = props.get_double_or("faults.limp.factor", p.limp_factor);
   p.limp_count = static_cast<std::uint32_t>(
       props.get_u64_or("faults.limp.count", p.limp_count));
+  p.corrupt_first_ns =
+      props.get_duration_ns_or("faults.corrupt.first", p.corrupt_first_ns);
+  p.corrupt_period_ns =
+      props.get_duration_ns_or("faults.corrupt.period", p.corrupt_period_ns);
+  p.corrupt_count = static_cast<std::uint32_t>(
+      props.get_u64_or("faults.corrupt.count", p.corrupt_count));
   return p;
 }
 
@@ -44,7 +50,8 @@ FaultInjector::FaultInjector(sim::Simulation& sim,
                              const InjectorParams& params)
     : sim_(&sim),
       params_(params),
-      rpc_rng_(params.seed ^ 0xFA017ull) {}
+      rpc_rng_(params.seed ^ 0xFA017ull),
+      corrupt_rng_(params.seed ^ 0xC0882ull) {}
 
 void FaultInjector::add_crash_target(std::string name,
                                      std::function<void()> crash,
@@ -58,7 +65,12 @@ void FaultInjector::add_device_target(std::string name,
   device_targets_.push_back(DeviceTarget{std::move(name), device});
 }
 
-void FaultInjector::note(const char* kind, const std::string& detail) {
+void FaultInjector::add_corrupt_target(std::string name, CorruptFn corrupt) {
+  corrupt_targets_.push_back(CorruptTarget{std::move(name),
+                                           std::move(corrupt)});
+}
+
+void FaultInjector::note(std::string_view kind, const std::string& detail) {
   sim_->metrics()
       .counter("faults.injected{kind=" + std::string(kind) + "}")
       .add();
@@ -102,6 +114,20 @@ void FaultInjector::start() {
   if (params_.limp_first_ns > 0 && !device_targets_.empty()) {
     sim_->spawn(limp_process());
   }
+  if (params_.corrupt_first_ns > 0 && !corrupt_targets_.empty()) {
+    sim_->spawn(corrupt_process());
+  }
+}
+
+std::string FaultInjector::corrupt_target(std::size_t index, CorruptKind kind,
+                                          std::uint64_t selector,
+                                          const std::string& object) {
+  CorruptTarget& target = corrupt_targets_.at(index);
+  std::string corrupted = target.corrupt(object, selector, kind);
+  if (!corrupted.empty()) {
+    note(to_string(kind), target.name + ":" + corrupted);
+  }
+  return corrupted;
 }
 
 void FaultInjector::crash_target(std::size_t index) {
@@ -135,6 +161,23 @@ sim::Task<void> FaultInjector::crash_process() {
                                    ? params_.crash_period_ns - since_crash
                                    : 0;
       co_await sim_->delay(gap);
+    }
+  }
+}
+
+sim::Task<void> FaultInjector::corrupt_process() {
+  // Kinds cycle deterministically; the selector stream is dedicated, so
+  // enabling corruption does not reshuffle RPC drop/delay decisions.
+  static constexpr CorruptKind kKinds[] = {
+      CorruptKind::kBitFlip, CorruptKind::kTornWrite, CorruptKind::kStaleRead};
+  co_await sim_->delay(params_.corrupt_first_ns);
+  for (std::uint32_t i = 0; i < params_.corrupt_count; ++i) {
+    const std::size_t target = i % corrupt_targets_.size();
+    const CorruptKind kind = kKinds[i % 3];
+    (void)corrupt_target(target, kind, corrupt_rng_.next());
+    if (i + 1 < params_.corrupt_count) {
+      if (params_.corrupt_period_ns == 0) break;  // one-shot schedule
+      co_await sim_->delay(params_.corrupt_period_ns);
     }
   }
 }

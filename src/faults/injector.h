@@ -21,8 +21,10 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/corrupt.h"
 #include "common/properties.h"
 #include "common/rng.h"
 #include "common/units.h"
@@ -55,12 +57,21 @@ struct InjectorParams {
   double limp_factor = 8.0;
   std::uint32_t limp_count = 1;
 
+  // Silent-corruption schedule, round-robin over corruption targets (KV
+  // stores and storage devices), cycling bit-flip -> torn-write ->
+  // stale-read. Each event mutates one resident object's bytes in place
+  // without touching its stored checksum.
+  sim::SimTime corrupt_first_ns = 0;  // 0 = no scheduled corruption
+  sim::SimTime corrupt_period_ns = 0;
+  std::uint32_t corrupt_count = 1;
+
   // Reads faults.* keys over built-in defaults:
   //   faults.enabled, faults.seed
   //   faults.rpc.drop_prob / delay_prob / delay (duration)
   //   faults.crash.first / period / downtime (durations), faults.crash.count
   //   faults.limp.first / period / duration (durations),
   //   faults.limp.factor, faults.limp.count
+  //   faults.corrupt.first / period (durations), faults.corrupt.count
   static InjectorParams from_properties(const Properties& props,
                                         InjectorParams defaults);
   static InjectorParams from_properties(const Properties& props);
@@ -82,6 +93,13 @@ class FaultInjector {
   // Register a device that limpware episodes may degrade.
   void add_device_target(std::string name, storage::Device* device);
 
+  // A corruptible data holder (KV store slab memory, a device's objects).
+  // The function mutates one resident object chosen by `selector` (or the
+  // named object) and returns its name/key, or "" when nothing matched.
+  using CorruptFn = std::function<std::string(
+      const std::string& object, std::uint64_t selector, CorruptKind kind)>;
+  void add_corrupt_target(std::string name, CorruptFn corrupt);
+
   // Install the per-message RPC fault hook on a fabric. No-op when disabled
   // or when both probabilities are zero.
   void arm_fabric(net::Fabric& fabric);
@@ -100,6 +118,16 @@ class FaultInjector {
     return crash_targets_.size();
   }
 
+  // Event-driven corruption of a registered target, with the same counting
+  // and tracing as the scheduled process. `object` "" lets the target pick
+  // by selector. Returns the corrupted object name ("" if nothing matched).
+  std::string corrupt_target(std::size_t index, CorruptKind kind,
+                             std::uint64_t selector,
+                             const std::string& object = {});
+  [[nodiscard]] std::size_t corrupt_target_count() const noexcept {
+    return corrupt_targets_.size();
+  }
+
   [[nodiscard]] const InjectorParams& params() const noexcept {
     return params_;
   }
@@ -115,19 +143,26 @@ class FaultInjector {
     std::string name;
     storage::Device* device;
   };
+  struct CorruptTarget {
+    std::string name;
+    CorruptFn corrupt;
+  };
 
   sim::Task<void> crash_process();
   sim::Task<void> limp_process();
+  sim::Task<void> corrupt_process();
 
   // Count + trace one injected fault.
-  void note(const char* kind, const std::string& detail);
+  void note(std::string_view kind, const std::string& detail);
 
   sim::Simulation* sim_;
   InjectorParams params_;
   Rng rpc_rng_;       // per-message decisions; advanced once per message
+  Rng corrupt_rng_;   // selector draws for the corruption schedule
   bool started_ = false;
   std::vector<CrashTarget> crash_targets_;
   std::vector<DeviceTarget> device_targets_;
+  std::vector<CorruptTarget> corrupt_targets_;
 };
 
 }  // namespace hpcbb::faults

@@ -35,10 +35,27 @@ DataNode::~DataNode() {
   }
 }
 
-void DataNode::corrupt_block(BlockId id) {
-  // Flip a data byte in place: the stored bytes no longer match the
-  // writer-registered CRC, so full-block reads must fail with kDataLoss.
-  store_->flip_byte(block_name(id), 0);
+void DataNode::attach_fault_injector(faults::FaultInjector* injector) {
+  injector_ = injector;
+  if (injector_ == nullptr) return;
+  injector_target_ = injector_->corrupt_target_count();
+  injector_->add_corrupt_target(
+      "dn" + std::to_string(node_),
+      [this](const std::string& object, std::uint64_t selector,
+             CorruptKind kind) {
+        return device_->corrupt(object, selector, kind);
+      });
+}
+
+void DataNode::corrupt_block(BlockId id, CorruptKind kind) {
+  // Mutate stored data so it no longer matches the writer-registered CRC;
+  // full-block reads must then fail with kDataLoss.
+  if (injector_ != nullptr) {
+    (void)injector_->corrupt_target(injector_target_, kind, /*selector=*/0,
+                                    block_name(id));
+  } else {
+    (void)device_->corrupt(block_name(id), /*selector=*/0, kind);
+  }
 }
 
 sim::Task<net::RpcResponse> DataNode::handle_write_packet(

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/corrupt.h"
+#include "faults/injector.h"
 #include "hdfs/protocol.h"
 #include "net/rpc.h"
 #include "storage/local_store.h"
@@ -41,8 +43,15 @@ class DataNode {
   void restart() { crashed_ = false; }
   [[nodiscard]] bool is_crashed() const noexcept { return crashed_; }
 
-  // Test hook: corrupt a stored block in place (checksum validation).
-  void corrupt_block(BlockId id);
+  // Register this node's disk as a corruption target with the injector, so
+  // corrupt_block (and scheduled corruption) ticks faults.injected{kind=
+  // corrupt.*} and shows up in traces instead of mutating bytes invisibly.
+  void attach_fault_injector(faults::FaultInjector* injector);
+
+  // Corrupt a stored block in place (checksum validation). Routed through
+  // the attached fault injector when present; silent otherwise (bare-rig
+  // tests without an injector).
+  void corrupt_block(BlockId id, CorruptKind kind = CorruptKind::kBitFlip);
 
  private:
   static std::string block_name(BlockId id) {
@@ -62,6 +71,8 @@ class DataNode {
   net::NodeId node_;
   std::unique_ptr<storage::Device> device_;
   std::unique_ptr<storage::LocalStore> store_;
+  faults::FaultInjector* injector_ = nullptr;
+  std::size_t injector_target_ = 0;  // index of this node's corrupt target
   bool crashed_ = false;
 };
 

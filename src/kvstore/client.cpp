@@ -2,8 +2,10 @@
 
 #include <cassert>
 #include <map>
+#include <span>
 #include <utility>
 
+#include "common/crc32c.h"
 #include "sim/sync.h"
 
 namespace hpcbb::kv {
@@ -181,38 +183,78 @@ sim::Task<Status> Client::set_on(net::NodeId server, std::string key,
 sim::Task<Result<BytesPtr>> Client::get(std::string key,
                                         std::uint64_t op_id) {
   const std::uint32_t r = effective_factor();
+  auto& metrics = hub_->transport().fabric().simulation().metrics();
   if (r == 1 && !params_.failover) {
     const net::NodeId server = server_for(key);
-    co_return co_await get_from(server, std::move(key), op_id);
+    auto fetched = co_await fetch_from(server, std::move(key), op_id);
+    if (!fetched.is_ok()) {
+      // No replica to repair from: the corruption is detected but final.
+      if (fetched.code() == StatusCode::kDataLoss) {
+        metrics.counter("kv.integrity.unrepairable").add();
+      }
+      co_return fetched.status();
+    }
+    co_return fetched.value()->value;
   }
 
-  auto& metrics = hub_->transport().fabric().simulation().metrics();
   const auto order = ring_.successors(key, walk_limit());
-  // Read from the first replica that answers with data. kNotFound falls
-  // through too: data written while a server was down lives further along
-  // the chain, and a restarted-empty server misses on everything.
-  Result<BytesPtr> result = error(StatusCode::kInternal, "empty walk");
+  // Read from the first replica that answers with verified data. kNotFound
+  // falls through too: data written while a server was down lives further
+  // along the chain, and a restarted-empty server misses on everything.
+  // kDataLoss (checksum mismatch) also falls through — and the positions
+  // that served corrupt data are overwritten from the first good copy.
+  std::vector<std::size_t> corrupt;
+  Status last = error(StatusCode::kInternal, "empty walk");
   for (std::size_t i = 0; i < order.size(); ++i) {
-    result = co_await get_from(servers_[order[i]], key, op_id);
-    if (result.is_ok()) {
+    auto fetched = co_await fetch_from(servers_[order[i]], key, op_id);
+    if (fetched.is_ok()) {
       if (i > 0 && i < r) metrics.counter("kv.repl.replica_reads").add();
-      co_return result;
+      const auto& reply = *fetched.value();
+      for (const std::size_t bad : corrupt) {
+        // Read-repair preserves the pin bit: a repaired dirty chunk must
+        // stay eviction-proof until the flusher unpins it.
+        Status st = co_await set_on(servers_[order[bad]], key, reply.value,
+                                    reply.pinned, 0, op_id);
+        if (st.is_ok()) {
+          metrics.counter("kv.integrity.repaired").add();
+        } else {
+          metrics.counter("kv.integrity.repair_failures").add();
+        }
+      }
+      co_return fetched.value()->value;
     }
-    const StatusCode code = result.status().code();
-    if (code != StatusCode::kUnavailable && code != StatusCode::kNotFound) {
-      co_return result;
+    last = fetched.status();
+    const StatusCode code = last.code();
+    if (code == StatusCode::kDataLoss) {
+      corrupt.push_back(i);
+    } else if (code != StatusCode::kUnavailable &&
+               code != StatusCode::kNotFound) {
+      co_return last;
     }
     if (i + 1 < order.size() && i + 1 >= r) {
       metrics.counter("kv.failover.get").add();
     }
   }
   if (params_.failover) metrics.counter("kv.failover.exhausted").add();
-  co_return result;
+  if (!corrupt.empty()) {
+    // Every copy is gone or corrupt: report kDataLoss, never a silent miss.
+    metrics.counter("kv.integrity.unrepairable").add();
+    co_return error(StatusCode::kDataLoss,
+                    "all replicas corrupt or unavailable");
+  }
+  co_return last;
 }
 
 sim::Task<Result<BytesPtr>> Client::get_from(net::NodeId server,
                                              std::string key,
                                              std::uint64_t op_id) {
+  auto fetched = co_await fetch_from(server, std::move(key), op_id);
+  if (!fetched.is_ok()) co_return fetched.status();
+  co_return fetched.value()->value;
+}
+
+sim::Task<Result<std::shared_ptr<const GetReply>>> Client::fetch_from(
+    net::NodeId server, std::string key, std::uint64_t op_id) {
   auto req =
       std::make_shared<const GetRequest>(GetRequest{std::move(key), op_id});
   auto result = co_await hub_->call<GetReply>(self_, server, kOpGet, req);
@@ -224,7 +266,16 @@ sim::Task<Result<BytesPtr>> Client::get_from(net::NodeId server,
                                                      reply->value->size());
     if (!st.is_ok()) co_return st;
   }
-  co_return reply->value;
+  // The server verified against its store; re-verify at the client so
+  // corruption past that point (one-sided RDMA bypasses the server CPU
+  // entirely) is caught before the value is used.
+  if (crc32c(std::span<const std::uint8_t>(*reply->value)) !=
+      reply->value_crc) {
+    hub_->transport().fabric().simulation().metrics()
+        .counter("kv.integrity.detected").add();
+    co_return error(StatusCode::kDataLoss, "client-side checksum mismatch");
+  }
+  co_return reply;
 }
 
 sim::Task<Result<std::vector<std::optional<BytesPtr>>>> Client::multi_get(
@@ -265,8 +316,17 @@ sim::Task<Result<std::vector<std::optional<BytesPtr>>>> Client::multi_get(
     if (reply->values.size() != indices.size()) {
       co_return error(StatusCode::kInternal, "multi-get shape mismatch");
     }
+    auto& metrics = hub_->transport().fabric().simulation().metrics();
     for (std::size_t j = 0; j < indices.size(); ++j) {
       out[indices[j]] = reply->values[j];
+      // Client-side verification of the batch payloads; a corrupt entry is
+      // demoted to a miss so the per-key fallback runs the repair walk.
+      if (out[indices[j]] && j < reply->crcs.size() &&
+          crc32c(std::span<const std::uint8_t>(**out[indices[j]])) !=
+              reply->crcs[j]) {
+        metrics.counter("kv.integrity.detected").add();
+        out[indices[j]] = std::nullopt;
+      }
       // A replicated miss may still hit further along the chain (e.g. the
       // primary restarted empty).
       if (!out[indices[j]] && effective_factor() > 1) {

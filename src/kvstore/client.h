@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -102,6 +103,11 @@ class Client {
                            bool pinned);
 
  private:
+  // One server round trip with end-to-end verification: the payload is
+  // re-checksummed against the reply's fill-time CRC at the client (the
+  // server already verified against its store); a mismatch is kDataLoss.
+  sim::Task<Result<std::shared_ptr<const GetReply>>> fetch_from(
+      net::NodeId server, std::string key, std::uint64_t op_id);
   [[nodiscard]] bool use_rdma(std::uint64_t bytes) const noexcept;
   // Replication factor and walk depth clamped to the actual server count.
   [[nodiscard]] std::uint32_t effective_factor() const noexcept;

@@ -8,6 +8,8 @@
 #include <span>
 #include <string_view>
 
+#include "common/crc32c.h"
+
 namespace hpcbb::kv {
 
 struct Item {
@@ -18,6 +20,7 @@ struct Item {
   std::uint64_t expiry_ns = 0;  // absolute; 0 = never expires
   std::uint32_t key_len = 0;
   std::uint32_t value_len = 0;
+  std::uint32_t value_crc = 0;  // CRC32C of the value bytes, set at fill()
   std::uint16_t slab_class = 0;
   bool pinned = false;  // pinned items are skipped by eviction
 
@@ -41,9 +44,15 @@ struct Item {
             value_len};
   }
 
+  // Mutable view for in-place corruption injection (tests/chaos only).
+  [[nodiscard]] std::span<std::uint8_t> mutable_value() noexcept {
+    return {reinterpret_cast<std::uint8_t*>(data()) + key_len, value_len};
+  }
+
   void fill(std::string_view key, std::span<const std::uint8_t> value) noexcept {
     key_len = static_cast<std::uint32_t>(key.size());
     value_len = static_cast<std::uint32_t>(value.size());
+    value_crc = crc32c(value);
     std::memcpy(data(), key.data(), key.size());
     std::memcpy(data() + key.size(), value.data(), value.size());
   }

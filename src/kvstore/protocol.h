@@ -45,6 +45,12 @@ struct GetRequest {
 struct GetReply {
   BytesPtr value;
   bool inline_payload = true;  // false: client fetches via RDMA READ
+  // Fill-time CRC32C and pin state. Verified again client-side; read-repair
+  // forwards the pin so a repaired dirty chunk stays eviction-proof. Both
+  // ride the existing header budget — wire_size is unchanged, keeping
+  // healthy-run timing identical.
+  std::uint32_t value_crc = 0;
+  bool pinned = false;
 
   [[nodiscard]] std::uint64_t wire_size() const {
     return kMsgHeaderBytes + (inline_payload ? value->size() : 0);
@@ -62,7 +68,9 @@ struct MultiGetRequest {
 };
 
 struct MultiGetReply {
-  std::vector<std::optional<BytesPtr>> values;  // nullopt = miss
+  std::vector<std::optional<BytesPtr>> values;  // nullopt = miss or corrupt
+  // Per-entry fill-time CRC32C (0 for absent entries), header-budgeted.
+  std::vector<std::uint32_t> crcs;
 
   [[nodiscard]] std::uint64_t wire_size() const {
     std::uint64_t total = kMsgHeaderBytes;

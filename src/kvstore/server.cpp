@@ -135,21 +135,27 @@ sim::Task<net::RpcResponse> Server::handle_get(
   sim::ScopedSpan span(sim.trace(), "get." + req->key, "kv", node_,
                        req->op_id);
   const std::uint64_t now = sim.now();
-  Result<Bytes> value = store_.get(req->key, now);
+  Result<VerifiedValue> value = store_.get_verified(req->key, now);
   if (!value.is_ok()) {
     co_await charge_op(0);
-    sim.metrics().counter("kv.misses").add();
+    if (value.code() == StatusCode::kDataLoss) {
+      sim.metrics().counter("kv.integrity.detected").add();
+    } else {
+      sim.metrics().counter("kv.misses").add();
+    }
     sim.metrics().histogram("kv.get").record(sim.now() - start);
     co_return net::rpc_error(value.status());
   }
   const bool use_rdma =
       hub_->transport().params().one_sided_capable &&
-      value.value().size() >= params_.rdma_threshold_bytes;
+      value.value().value.size() >= params_.rdma_threshold_bytes;
   // Inline replies copy the value onto the send path; RDMA replies only
   // pass metadata — the client pulls the payload with a one-sided READ.
-  co_await charge_op(use_rdma ? 0 : value.value().size());
+  co_await charge_op(use_rdma ? 0 : value.value().value.size());
   auto reply = std::make_shared<GetReply>();
-  reply->value = make_bytes(std::move(value).value());
+  reply->value_crc = value.value().crc;
+  reply->pinned = value.value().pinned;
+  reply->value = make_bytes(std::move(value.value().value));
   reply->inline_payload = !use_rdma;
   const std::uint64_t wire = reply->wire_size();
   sim.metrics().counter("kv.hits").add();
@@ -161,16 +167,25 @@ sim::Task<net::RpcResponse> Server::handle_get(
 sim::Task<net::RpcResponse> Server::handle_multi_get(
     std::shared_ptr<const MultiGetRequest> req) {
   if (crashed_) co_return unavailable();
-  const std::uint64_t now = hub_->transport().fabric().simulation().now();
+  sim::Simulation& sim = hub_->transport().fabric().simulation();
+  const std::uint64_t now = sim.now();
   auto reply = std::make_shared<MultiGetReply>();
   reply->values.reserve(req->keys.size());
+  reply->crcs.reserve(req->keys.size());
   std::uint64_t copy_bytes = 0;
   for (const auto& key : req->keys) {
-    Result<Bytes> value = store_.get(key, now);
+    Result<VerifiedValue> value = store_.get_verified(key, now);
     if (value.is_ok()) {
-      copy_bytes += value.value().size();
-      reply->values.emplace_back(make_bytes(std::move(value).value()));
+      copy_bytes += value.value().value.size();
+      reply->crcs.push_back(value.value().crc);
+      reply->values.emplace_back(make_bytes(std::move(value.value().value)));
     } else {
+      // Corrupt entries surface as absent — the client's per-key fallback
+      // then runs the verified get() walk, which detects and repairs.
+      if (value.code() == StatusCode::kDataLoss) {
+        sim.metrics().counter("kv.integrity.detected").add();
+      }
+      reply->crcs.push_back(0);
       reply->values.emplace_back(std::nullopt);
     }
   }

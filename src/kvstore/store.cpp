@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
+#include <vector>
 
 #include "common/strings.h"
 
@@ -59,18 +61,25 @@ class KvStore::Shard {
     return Status::ok();
   }
 
-  Result<Bytes> get(std::uint64_t hash, std::string_view key,
-                    std::uint64_t now_ns) {
+  Result<VerifiedValue> get(std::uint64_t hash, std::string_view key,
+                            std::uint64_t now_ns) {
     std::lock_guard<std::mutex> lock(mu_);
     Item* item = find_live(hash, key, now_ns);
     if (item == nullptr) {
       ++stats_.misses;
       return error(StatusCode::kNotFound, "key not found");
     }
+    const auto value = item->value();
+    if (crc32c(value) != item->value_crc) {
+      // Keep the corrupt item: replicas must see "corrupt", not "missing",
+      // or an R=1 store could silently re-admit the key as a fresh miss.
+      ++stats_.integrity_failures;
+      return error(StatusCode::kDataLoss, "value checksum mismatch");
+    }
     ++stats_.hits;
     touch(item);
-    const auto value = item->value();
-    return Bytes(value.begin(), value.end());
+    return VerifiedValue{Bytes(value.begin(), value.end()), item->value_crc,
+                         item->pinned};
   }
 
   Result<std::uint64_t> value_size(std::uint64_t hash, std::string_view key,
@@ -142,6 +151,23 @@ class KvStore::Shard {
   [[nodiscard]] StoreStats stats() const {
     std::lock_guard<std::mutex> lock(mu_);
     return stats_;
+  }
+
+  void collect_keys(std::vector<std::string>& out) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Item* head : buckets_) {
+      for (Item* it = head; it; it = it->hash_next) {
+        out.emplace_back(it->key());
+      }
+    }
+  }
+
+  bool corrupt(std::uint64_t hash, std::string_view key, CorruptKind kind,
+               std::uint64_t selector) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Item* item = find(hash, key);
+    if (item == nullptr) return false;
+    return apply_corruption(item->mutable_value(), kind, selector);
   }
 
   [[nodiscard]] const SlabAllocator& slab() const noexcept { return slab_; }
@@ -280,6 +306,13 @@ Status KvStore::set(std::string_view key, std::span<const std::uint8_t> value,
 }
 
 Result<Bytes> KvStore::get(std::string_view key, std::uint64_t now_ns) {
+  auto verified = get_verified(key, now_ns);
+  if (!verified.is_ok()) return verified.status();
+  return std::move(verified.value().value);
+}
+
+Result<VerifiedValue> KvStore::get_verified(std::string_view key,
+                                            std::uint64_t now_ns) {
   const std::uint64_t hash = fnv1a(key);
   return shard_for(hash).get(hash, key, now_ns);
 }
@@ -307,6 +340,22 @@ bool KvStore::contains(std::string_view key, std::uint64_t now_ns) const {
 
 void KvStore::wipe() {
   for (auto& shard : shards_) shard->wipe();
+}
+
+std::string KvStore::corrupt_one(std::uint64_t selector, CorruptKind kind,
+                                 std::string_view key) {
+  std::string target(key);
+  if (target.empty()) {
+    // Sorted global key list keeps the pick independent of shard layout.
+    std::vector<std::string> keys;
+    for (const auto& shard : shards_) shard->collect_keys(keys);
+    if (keys.empty()) return {};
+    std::sort(keys.begin(), keys.end());
+    target = keys[selector % keys.size()];
+  }
+  const std::uint64_t hash = fnv1a(target);
+  if (!shard_for(hash).corrupt(hash, target, kind, selector)) return {};
+  return target;
 }
 
 StoreStats KvStore::stats() const {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/corrupt.h"
 #include "common/status.h"
 #include "kvstore/item.h"
 #include "kvstore/slab.h"
@@ -45,6 +46,15 @@ struct StoreStats {
   std::uint64_t evictions = 0;
   std::uint64_t expired = 0;
   std::uint64_t set_failures = 0;  // memory exhausted (all-pinned or budget)
+  std::uint64_t integrity_failures = 0;  // gets that hit a checksum mismatch
+};
+
+// A verified read: the value plus its fill-time checksum and pin state, so
+// callers (the server, read-repair) can forward both without recomputing.
+struct VerifiedValue {
+  Bytes value;
+  std::uint32_t crc = 0;
+  bool pinned = false;
 };
 
 class KvStore {
@@ -61,8 +71,15 @@ class KvStore {
   Status set(std::string_view key, std::span<const std::uint8_t> value,
              const SetOptions& options = {});
 
-  // Copy of the value, LRU-touched. `now_ns` drives TTL expiry.
+  // Copy of the value, LRU-touched. `now_ns` drives TTL expiry. Every get
+  // re-checksums the value against the fill-time CRC; a mismatch returns
+  // kDataLoss (the corrupt item is kept, so repeated reads keep reporting
+  // "corrupt" rather than "missing" — replicas and repair rely on that).
   Result<Bytes> get(std::string_view key, std::uint64_t now_ns = 0);
+
+  // get() plus the stored CRC and pin state (the server forwards both).
+  Result<VerifiedValue> get_verified(std::string_view key,
+                                     std::uint64_t now_ns = 0);
 
   // Value size without copying (used by the RDMA GET protocol to size the
   // one-sided read); also LRU-touched.
@@ -80,6 +97,14 @@ class KvStore {
 
   // Drop everything (server crash: memory contents are gone).
   void wipe();
+
+  // Corruption injection (chaos/tests): deterministically pick one resident
+  // item by `selector` (keys are sorted across shards, index selector % n)
+  // and mutate its value bytes in place — the stored CRC is untouched, so
+  // the next verified read detects it. Returns the corrupted key, or "" if
+  // the store is empty. `key` targets a specific item instead.
+  std::string corrupt_one(std::uint64_t selector, CorruptKind kind,
+                          std::string_view key = {});
 
   [[nodiscard]] StoreStats stats() const;
   [[nodiscard]] std::uint64_t memory_budget() const noexcept;

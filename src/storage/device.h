@@ -6,8 +6,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <string_view>
 
+#include "common/corrupt.h"
 #include "common/status.h"
 #include "common/units.h"
 #include "sim/simulation.h"
@@ -66,6 +69,20 @@ class Device {
   }
   [[nodiscard]] double slowdown() const noexcept { return slowdown_; }
 
+  // Silent-corruption hook: the data holder living on this device (a
+  // LocalStore) installs it so fault injection can flip bytes at rest by
+  // device handle alone. The hook mutates one resident object — the named
+  // one, or a selector-derived pick — and returns its name ("" = nothing
+  // matched). Timing-only devices without a holder ignore corruption.
+  using CorruptHook = std::function<std::string(
+      const std::string& object, std::uint64_t selector, CorruptKind kind)>;
+  void set_corrupt_hook(CorruptHook hook) { corrupt_hook_ = std::move(hook); }
+  std::string corrupt(const std::string& object, std::uint64_t selector,
+                      CorruptKind kind) {
+    return corrupt_hook_ ? corrupt_hook_(object, selector, kind)
+                         : std::string{};
+  }
+
   [[nodiscard]] std::uint64_t used_bytes() const noexcept { return used_; }
   [[nodiscard]] std::uint64_t capacity_bytes() const noexcept {
     return params_.capacity_bytes;
@@ -83,6 +100,7 @@ class Device {
 
   sim::Simulation* sim_;
   DeviceParams params_;
+  CorruptHook corrupt_hook_;
   double slowdown_ = 1.0;
   sim::SimTime next_free_ = 0;
   sim::SimTime busy_ns_ = 0;

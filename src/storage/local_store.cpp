@@ -1,5 +1,8 @@
 #include "storage/local_store.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace hpcbb::storage {
 
 sim::Task<Status> LocalStore::append(std::string name,
@@ -91,6 +94,24 @@ void LocalStore::flip_byte(const std::string& name, std::uint64_t index) {
   if (it != objects_.end() && index < it->second.data.size()) {
     it->second.data[index] ^= 0xFF;
   }
+}
+
+std::string LocalStore::corrupt_one(const std::string& object,
+                                    std::uint64_t selector, CorruptKind kind) {
+  std::string target = object;
+  if (target.empty()) {
+    // Sorted names keep the pick independent of hash-map iteration order.
+    std::vector<std::string> names;
+    names.reserve(objects_.size());
+    for (const auto& [name, obj] : objects_) names.push_back(name);
+    if (names.empty()) return {};
+    std::sort(names.begin(), names.end());
+    target = names[selector % names.size()];
+  }
+  const auto it = objects_.find(target);
+  if (it == objects_.end()) return {};
+  if (!apply_corruption(it->second.data, kind, selector)) return {};
+  return target;
 }
 
 void LocalStore::wipe() {

@@ -17,7 +17,13 @@ namespace hpcbb::storage {
 
 class LocalStore {
  public:
-  explicit LocalStore(Device& device) noexcept : device_(&device) {}
+  explicit LocalStore(Device& device) noexcept : device_(&device) {
+    // Fault injection addresses corruption by device handle; the store is
+    // where the bytes actually live, so it serves the device's hook.
+    device_->set_corrupt_hook(
+        [this](const std::string& object, std::uint64_t selector,
+               CorruptKind kind) { return corrupt_one(object, selector, kind); });
+  }
 
   LocalStore(const LocalStore&) = delete;
   LocalStore& operator=(const LocalStore&) = delete;
@@ -57,6 +63,12 @@ class LocalStore {
   // Test hook: flip one byte of a stored object in place (bit-rot
   // injection for checksum-validation tests). No-op if absent/too short.
   void flip_byte(const std::string& name, std::uint64_t index);
+
+  // Corrupt one resident object in place — `object` if named, else a
+  // selector-derived pick over the sorted object names. Returns the
+  // corrupted name, or "" when the store is empty / the name is absent.
+  std::string corrupt_one(const std::string& object, std::uint64_t selector,
+                          CorruptKind kind);
 
  private:
   struct Object {

@@ -34,10 +34,30 @@ RESILIENCE_PREFIXES = (
     "bb.read.lustre_fallbacks",
 )
 
+# Counters surfaced in the dedicated integrity section (corruption injected,
+# checksum detection/repair on the read path, scrubber activity, quarantined
+# blocks and CRC-failure fallbacks).
+INTEGRITY_PREFIXES = (
+    "kv.integrity.",
+    "kv.scrub.",
+    "bb.quarantined_blocks",
+    "bb.read.local_crc_failures",
+    "bb.read.buffer_crc_failures",
+    "bb.read.lustre_crc_failures",
+    "faults.injected{kind=corrupt.",
+)
+
+INTEGRITY_HISTOGRAMS = ("kv.scrub.pass_ns",)
+
 
 def resilience_counters(counters):
     return {name: value for name, value in counters.items()
             if name.startswith(RESILIENCE_PREFIXES)}
+
+
+def integrity_counters(counters):
+    return {name: value for name, value in counters.items()
+            if name.startswith(INTEGRITY_PREFIXES)}
 
 
 def load(path):
@@ -98,6 +118,23 @@ def show(report):
             print(f"  {name:<{width}}  {fmt_count(repl_counters[name]):>16}")
         for name in sorted(repl_hists):
             h = repl_hists[name]
+            print(f"  {name:<{width}}  runs {h['count']:>5,}  "
+                  f"p50 {fmt_ns(h['p50'])}  p99 {fmt_ns(h['p99'])}  "
+                  f"max {fmt_ns(h['max'])}")
+
+    # Integrity: injected corruption vs detection/repair outcomes plus the
+    # scrub-pass duration histogram, pulled together so a chaos run answers
+    # "did any corrupt byte survive" in one glance.
+    integ_counters = integrity_counters(counters)
+    integ_hists = {n: h for n, h in report.get("histograms", {}).items()
+                   if n in INTEGRITY_HISTOGRAMS}
+    if integ_counters or integ_hists:
+        print("\nintegrity (corruption / detection / repair):")
+        width = max(map(len, list(integ_counters) + list(integ_hists)))
+        for name in sorted(integ_counters):
+            print(f"  {name:<{width}}  {fmt_count(integ_counters[name]):>16}")
+        for name in sorted(integ_hists):
+            h = integ_hists[name]
             print(f"  {name:<{width}}  runs {h['count']:>5,}  "
                   f"p50 {fmt_ns(h['p50'])}  p99 {fmt_ns(h['p99'])}  "
                   f"max {fmt_ns(h['max'])}")
@@ -201,6 +238,10 @@ def diff(baseline, candidate):
     diff_section("resilience (retries / faults / failover)",
                  resilience_counters(baseline.get("counters", {})),
                  resilience_counters(candidate.get("counters", {})),
+                 lambda a, b: (a, b))
+    diff_section("integrity (corruption / detection / repair)",
+                 integrity_counters(baseline.get("counters", {})),
+                 integrity_counters(candidate.get("counters", {})),
                  lambda a, b: (a, b))
     diff_section("gauges (value)", baseline.get("gauges", {}),
                  candidate.get("gauges", {}),
