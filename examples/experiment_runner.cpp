@@ -22,6 +22,11 @@
 // Integrity (DESIGN.md §13): kv.scrub.interval=<duration> (background
 // scrubber, 0 = off), kv.scrub.pace=<duration>, and the corruption schedule
 // faults.corrupt.first / period (durations) / count.
+// Metadata durability (DESIGN.md §14): bb.md.journal={0,1},
+// bb.md.checkpoint_interval=<duration>, bb.md.journal_max_bytes, plus the
+// master crash schedule faults.master.first / period / downtime / count.
+// Malformed resilience keys exit with status 2 instead of silently
+// defaulting.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -104,13 +109,15 @@ int main(int argc, char** argv) {
   config.bb_dead_after = static_cast<std::uint32_t>(
       props.get_u64_or("bb.dead_after", config.bb_dead_after));
   config.faults = faults::InjectorParams::from_properties(props, config.faults);
-  // Integrity: the background scrubber (kv.scrub.interval > 0 turns it on)
-  // and the corruption schedule (faults.corrupt.*). A malformed duration or
-  // count here is a configuration error, not a silent fallback — a chaos
-  // run that quietly dropped its corruption schedule would report a clean
-  // integrity section and prove nothing.
-  for (const char* key : {"kv.scrub.interval", "kv.scrub.pace",
-                          "faults.corrupt.first", "faults.corrupt.period"}) {
+  // Resilience/integrity key validation. A malformed duration or count in a
+  // retry policy, heartbeat, journal, or fault schedule is a configuration
+  // error, not a silent fallback — a chaos run that quietly dropped its
+  // schedule would report a clean resilience section and prove nothing.
+  for (const char* key :
+       {"kv.scrub.interval", "kv.scrub.pace", "faults.corrupt.first",
+        "faults.corrupt.period", "bb.heartbeat", "bb.md.checkpoint_interval",
+        "faults.master.first", "faults.master.period",
+        "faults.master.downtime"}) {
     if (!props.contains(key)) continue;
     const auto parsed = props.get_duration_ns(key);
     if (!parsed.is_ok()) {
@@ -119,17 +126,37 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (props.contains("faults.corrupt.count")) {
-    const auto parsed = props.get_u64("faults.corrupt.count");
+  for (const char* key :
+       {"faults.corrupt.count", "net.retry.max_attempts",
+        "net.retry.timeout_us", "net.retry.backoff_us",
+        "net.retry.backoff_max_us", "bb.suspect_after", "bb.dead_after",
+        "bb.md.journal_max_bytes", "faults.master.count"}) {
+    if (!props.contains(key)) continue;
+    const auto parsed = props.get_u64(key);
     if (!parsed.is_ok()) {
       std::fprintf(stderr, "bad config: %s\n",
                    parsed.status().to_string().c_str());
       return 2;
     }
   }
+  for (const char* key : {"bb.md.journal", "net.retry.non_idempotent"}) {
+    const auto value = props.get(key);
+    if (!value) continue;
+    if (*value != "true" && *value != "1" && *value != "yes" &&
+        *value != "false" && *value != "0" && *value != "no") {
+      std::fprintf(stderr,
+                   "bad config: key %s: not a boolean (want 0/1): %s\n",
+                   key, value->c_str());
+      return 2;
+    }
+  }
   config.bb_scrub.interval_ns =
       props.get_duration_ns_or("kv.scrub.interval", 0);
   config.bb_scrub.chunk_pace_ns = props.get_duration_ns_or("kv.scrub.pace", 0);
+  // Metadata durability: bb.md.journal={0,1}, bb.md.checkpoint_interval
+  // (duration), bb.md.journal_max_bytes (checkpoint when the journal grows
+  // past this). Off by default; faults.master.* schedules master crashes.
+  config.bb_md = bb::MdParams::from_properties(props, config.bb_md);
   const std::string scheme = props.get_or("bb.scheme", "async");
   config.scheme = scheme == "sync"    ? bb::Scheme::kSync
                   : scheme == "local" ? bb::Scheme::kLocal

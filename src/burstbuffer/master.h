@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "burstbuffer/mdlog.h"
 #include "burstbuffer/protocol.h"
 #include "flowctl/controller.h"
 #include "integrity/scrubber.h"
@@ -51,6 +52,11 @@ struct MasterParams {
   // Background integrity scrubber over the sealed buffer-resident chunks
   // (interval 0 = off, the seed behaviour). See integrity/scrubber.h.
   integrity::ScrubParams scrub;
+  // Metadata durability: write-ahead journal + checkpoints in the KV tier's
+  // reserved `!md:` range, enabling crash()/restart() with zero metadata
+  // loss. Off by default (the seed behaviour, zero extra events). See
+  // burstbuffer/mdlog.h.
+  MdParams md;
 };
 
 // Failure-detector verdict for one KV server. kRecovering: the server
@@ -112,6 +118,31 @@ class Master {
   // closed). Used by benchmarks and failure experiments.
   sim::Task<void> wait_all_flushed();
 
+  // ---- crash-restart (metadata durability) ----
+  // Crash the master process: unbind every RPC port, drop all volatile
+  // state (file map, flush queue, flow-control accounting, counters), and
+  // retire the worker coroutines. With journaling on, restart() recovers
+  // everything from the KV-resident checkpoint + journal tail; with it off
+  // this models the seed's unrecoverable single point of failure. Driven by
+  // the fault injector (faults.master.* schedule) or directly by tests.
+  void crash();
+  // Spawn the recovery task: load checkpoint, replay the journal tail,
+  // reconcile against the live chunk inventory, re-arm flow control, rebind
+  // ports, and respawn flushers/detector/scrubber. No-op unless crashed.
+  void restart();
+  [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+  // Resolves once the master is serving again (immediately if not crashed).
+  sim::Task<void> wait_recovered();
+  // Recovery telemetry (cumulative over all restarts this run).
+  [[nodiscard]] std::uint64_t replayed_records() const noexcept {
+    return replayed_records_;
+  }
+  [[nodiscard]] std::uint64_t recovered_files() const noexcept {
+    return recovered_files_;
+  }
+  [[nodiscard]] std::uint64_t restarts() const noexcept { return restarts_; }
+  [[nodiscard]] MetadataJournal* journal() noexcept { return journal_.get(); }
+
   // Failure-detector introspection. With the detector off every peer reads
   // kLive and the master never enters degraded mode.
   [[nodiscard]] bool degraded() const noexcept { return degraded_; }
@@ -120,10 +151,10 @@ class Master {
   }
   [[nodiscard]] std::uint32_t live_kv_count() const noexcept;
   [[nodiscard]] std::uint32_t suspect_kv_count() const noexcept;
-  // Stop the periodic prober and the integrity scrubber (each wakes at most
-  // once more). Harnesses call this when the measured phase ends so the
-  // simulation can run to quiescence — otherwise the periodic timers keep
-  // the event queue alive.
+  // Stop the periodic prober, the integrity scrubber, and the checkpoint
+  // timer (each wakes at most once more). Harnesses call this when the
+  // measured phase ends so the simulation can run to quiescence — otherwise
+  // the periodic timers keep the event queue alive.
   void stop_heartbeat() noexcept {
     heartbeat_stop_ = true;
     if (scrubber_ != nullptr) scrubber_->stop();
@@ -149,11 +180,13 @@ class Master {
     return recovery_.get();
   }
 
-  // Optional span tracing of the flush pipeline ("bb" category) and the
-  // flow-control subsystem ("flowctl" category).
+  // Optional span tracing of the flush pipeline ("bb" category), the
+  // flow-control subsystem ("flowctl" category), and the metadata journal
+  // ("md" category — its own attribution layer).
   void set_trace(sim::TraceRecorder* recorder) noexcept {
     trace_ = recorder;
     flowctl_.set_trace(recorder);
+    if (journal_ != nullptr) journal_->set_trace(recorder);
   }
 
  private:
@@ -204,7 +237,8 @@ class Master {
   sim::Task<void> charge_md_op();
   // Periodic liveness probing of every KV server; drives the
   // suspect -> dead -> rejoined lifecycle and degraded-mode transitions.
-  sim::Task<void> heartbeat_worker();
+  // `generation` retires the worker after a crash (see crash()).
+  sim::Task<void> heartbeat_worker(std::uint64_t generation);
   void apply_probe_result(std::uint32_t kv_index, bool reachable,
                           std::uint64_t incarnation);
   void update_health_mode();
@@ -219,10 +253,36 @@ class Master {
   // CRCs? Falls back to the rolling block CRC without per-chunk provenance.
   [[nodiscard]] bool block_matches_crcs(const BbBlockInfo& block,
                                         const Bytes& data) const;
-  sim::Task<void> flush_worker(std::uint32_t worker_index);
-  sim::Task<Status> flush_block(std::uint32_t worker_index,
+  sim::Task<void> flush_worker(std::uint64_t generation,
+                               std::uint32_t worker_index);
+  sim::Task<Status> flush_block(std::uint64_t generation,
+                                std::uint32_t worker_index,
                                 const FlushItem& item);
-  sim::Task<void> evict_worker();
+  sim::Task<void> evict_worker(std::uint64_t generation);
+
+  // ---- metadata durability internals ----
+  void bind_ports();
+  void unbind_ports();
+  // Spawn the flush/evict/heartbeat/checkpoint workers for generation_.
+  void spawn_workers();
+  // (Re)create and start the integrity scrubber; a stopped Scrubber cannot
+  // be restarted, so restart builds a fresh one.
+  void make_scrubber();
+  // Durable journal append for the acknowledge path (returns kUnavailable
+  // on crash — the caller must not ack); the async variant is for
+  // background mutations nothing acknowledges against.
+  sim::Task<Status> journal_append(MdRecord record);
+  void journal_append_async(MdRecord record);
+  void maybe_trigger_checkpoint();
+  sim::Task<void> checkpoint_worker(std::uint64_t generation);
+  sim::Task<void> run_checkpoint(std::uint64_t generation);
+  // Recovery pipeline (restart()): journal load -> checkpoint install ->
+  // record replay -> inventory reconciliation -> worker respawn.
+  sim::Task<void> restart_task();
+  [[nodiscard]] MdCheckpoint make_checkpoint() const;
+  void install_checkpoint(MdCheckpoint&& checkpoint);
+  void apply_record(const MdRecord& record);
+  sim::Task<void> reconcile(std::uint64_t generation);
   void finish_block(const std::string& path, BbBlockInfo& block,
                     BlockState state);
   void release_reservation(BbBlockInfo& block);
@@ -236,6 +296,7 @@ class Master {
   net::RpcHub* hub_;
   net::NodeId node_;
   std::vector<net::NodeId> kv_servers_;
+  net::NodeId lustre_mds_;
   Scheme scheme_;
   MasterParams params_;
   lustre::LustreClient lustre_;
@@ -249,9 +310,24 @@ class Master {
   std::vector<PeerHealth> peer_health_;
   std::unique_ptr<repl::RecoveryManager> recovery_;
   std::unique_ptr<integrity::Scrubber> scrubber_;
+  std::unique_ptr<MetadataJournal> journal_;
   bool heartbeat_stop_ = false;
   bool degraded_ = false;
   sim::SimTime degraded_since_ = 0;
+
+  // Crash-restart machinery: every worker coroutine captures generation_
+  // at spawn and retires when it no longer matches (crash() bumps it), so
+  // stale coroutines resumed across a restart can never mutate recovered
+  // state. `bound_` makes port teardown idempotent between crash() and the
+  // destructor.
+  std::uint64_t generation_ = 0;
+  bool crashed_ = false;
+  bool bound_ = false;
+  bool checkpoint_running_ = false;
+  sim::Condition recovered_cond_;
+  std::uint64_t restarts_ = 0;
+  std::uint64_t replayed_records_ = 0;
+  std::uint64_t recovered_files_ = 0;
 
   // Enqueue/dequeue wrapper keeping the depth counter and the
   // `bb.flush_queue_depth` gauge in lock-step with flush_queue_.

@@ -1,0 +1,460 @@
+#include "burstbuffer/mdlog.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+#include "kvstore/store.h"
+
+namespace hpcbb::bb {
+
+namespace {
+
+// Checkpoint parts stay well under the KV max value size at any sane slab
+// configuration.
+constexpr std::uint64_t kCheckpointPartBytes = 64 * KiB;
+constexpr std::uint32_t kCheckpointMagic = 0x4D444350;  // "MDCP"
+
+// ---- compact little-endian codec -------------------------------------------
+
+void put_u8(Bytes& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_string(Bytes& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void put_u32vec(Bytes& out, const std::vector<std::uint32_t>& v) {
+  put_u32(out, static_cast<std::uint32_t>(v.size()));
+  for (const std::uint32_t x : v) put_u32(out, x);
+}
+
+// Bounds-checked reader; any overrun latches !ok and zero-fills.
+struct Cursor {
+  const Bytes* bytes;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::uint8_t get_u8() {
+    if (pos + 1 > bytes->size()) {
+      ok = false;
+      return 0;
+    }
+    return (*bytes)[pos++];
+  }
+  std::uint32_t get_u32() {
+    if (pos + 4 > bytes->size()) {
+      ok = false;
+      return 0;
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>((*bytes)[pos++]) << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t get_u64() {
+    if (pos + 8 > bytes->size()) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>((*bytes)[pos++]) << (8 * i);
+    }
+    return v;
+  }
+  std::string get_string() {
+    const std::uint32_t len = get_u32();
+    if (!ok || pos + len > bytes->size()) {
+      ok = false;
+      return {};
+    }
+    std::string s(bytes->begin() + static_cast<std::ptrdiff_t>(pos),
+                  bytes->begin() + static_cast<std::ptrdiff_t>(pos + len));
+    pos += len;
+    return s;
+  }
+  std::vector<std::uint32_t> get_u32vec() {
+    const std::uint32_t count = get_u32();
+    if (!ok || pos + static_cast<std::uint64_t>(count) * 4 > bytes->size()) {
+      ok = false;
+      return {};
+    }
+    std::vector<std::uint32_t> v;
+    v.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) v.push_back(get_u32());
+    return v;
+  }
+};
+
+}  // namespace
+
+MdParams MdParams::from_properties(const Properties& props, MdParams defaults) {
+  MdParams params = defaults;
+  params.journal = props.get_bool_or("bb.md.journal", params.journal);
+  params.checkpoint_interval_ns = props.get_duration_ns_or(
+      "bb.md.checkpoint_interval", params.checkpoint_interval_ns);
+  params.journal_max_bytes =
+      props.get_u64_or("bb.md.journal_max_bytes", params.journal_max_bytes);
+  return params;
+}
+
+MdParams MdParams::from_properties(const Properties& props) {
+  return from_properties(props, MdParams{});
+}
+
+Bytes encode_record(const MdRecord& record) {
+  Bytes out;
+  put_u8(out, static_cast<std::uint8_t>(record.type));
+  put_string(out, record.path);
+  put_u32(out, record.block_index);
+  put_u64(out, record.size);
+  put_u64(out, record.token);
+  put_u32(out, record.crc32c);
+  const std::uint8_t flags =
+      static_cast<std::uint8_t>(record.already_durable ? 1 : 0) |
+      static_cast<std::uint8_t>(record.has_local_node ? 2 : 0);
+  put_u8(out, flags);
+  put_u32(out, record.local_node);
+  put_u64(out, record.op_id);
+  put_u32vec(out, record.chunk_crcs);
+  put_u32vec(out, record.replicas);
+  return out;
+}
+
+Result<MdRecord> decode_record(const Bytes& bytes) {
+  Cursor cur{&bytes};
+  MdRecord record;
+  record.type = static_cast<MdRecordType>(cur.get_u8());
+  record.path = cur.get_string();
+  record.block_index = cur.get_u32();
+  record.size = cur.get_u64();
+  record.token = cur.get_u64();
+  record.crc32c = cur.get_u32();
+  const std::uint8_t flags = cur.get_u8();
+  record.already_durable = (flags & 1) != 0;
+  record.has_local_node = (flags & 2) != 0;
+  record.local_node = cur.get_u32();
+  record.op_id = cur.get_u64();
+  record.chunk_crcs = cur.get_u32vec();
+  record.replicas = cur.get_u32vec();
+  if (!cur.ok || cur.pos != bytes.size()) {
+    return error(StatusCode::kDataLoss, "malformed metadata journal record");
+  }
+  return record;
+}
+
+Bytes encode_checkpoint(const MdCheckpoint& checkpoint) {
+  Bytes out;
+  put_u32(out, kCheckpointMagic);
+  put_u64(out, checkpoint.flushed_blocks);
+  put_u64(out, checkpoint.flushed_bytes);
+  put_u64(out, checkpoint.lost_blocks);
+  put_u64(out, checkpoint.recovered_blocks);
+  put_u64(out, checkpoint.quarantined_blocks);
+  put_u64(out, checkpoint.files.size());
+  for (const MdFileSnapshot& file : checkpoint.files) {
+    put_string(out, file.path);
+    put_u64(out, file.create_token);
+    put_u64(out, file.size);
+    put_u8(out, file.closed ? 1 : 0);
+    put_u64(out, file.blocks.size());
+    for (const MdBlockSnapshot& block : file.blocks) {
+      put_u32(out, block.index);
+      put_u64(out, block.size);
+      put_u32(out, block.crc32c);
+      put_u8(out, block.state);
+      put_u8(out, block.has_local_node ? 1 : 0);
+      put_u32(out, block.local_node);
+      put_u64(out, block.op_id);
+      put_u32vec(out, block.chunk_crcs);
+      put_u32vec(out, block.replicas);
+    }
+  }
+  return out;
+}
+
+Result<MdCheckpoint> decode_checkpoint(const Bytes& bytes) {
+  Cursor cur{&bytes};
+  if (cur.get_u32() != kCheckpointMagic) {
+    return error(StatusCode::kDataLoss, "bad metadata checkpoint magic");
+  }
+  MdCheckpoint checkpoint;
+  checkpoint.flushed_blocks = cur.get_u64();
+  checkpoint.flushed_bytes = cur.get_u64();
+  checkpoint.lost_blocks = cur.get_u64();
+  checkpoint.recovered_blocks = cur.get_u64();
+  checkpoint.quarantined_blocks = cur.get_u64();
+  const std::uint64_t file_count = cur.get_u64();
+  for (std::uint64_t f = 0; cur.ok && f < file_count; ++f) {
+    MdFileSnapshot file;
+    file.path = cur.get_string();
+    file.create_token = cur.get_u64();
+    file.size = cur.get_u64();
+    file.closed = cur.get_u8() != 0;
+    const std::uint64_t block_count = cur.get_u64();
+    for (std::uint64_t b = 0; cur.ok && b < block_count; ++b) {
+      MdBlockSnapshot block;
+      block.index = cur.get_u32();
+      block.size = cur.get_u64();
+      block.crc32c = cur.get_u32();
+      block.state = cur.get_u8();
+      block.has_local_node = cur.get_u8() != 0;
+      block.local_node = cur.get_u32();
+      block.op_id = cur.get_u64();
+      block.chunk_crcs = cur.get_u32vec();
+      block.replicas = cur.get_u32vec();
+      file.blocks.push_back(std::move(block));
+    }
+    checkpoint.files.push_back(std::move(file));
+  }
+  if (!cur.ok || cur.pos != bytes.size()) {
+    return error(StatusCode::kDataLoss, "malformed metadata checkpoint");
+  }
+  return checkpoint;
+}
+
+// ---- MetadataJournal -------------------------------------------------------
+
+namespace {
+kv::ClientParams journal_client_params(kv::ClientParams params) {
+  // Never acknowledge primary-only: an append is durable on every replica
+  // at ack time. Failover keeps the control plane writable through a KV
+  // server outage (the degraded windows are exactly when journaling
+  // matters most).
+  params.ack = kv::AckMode::kAll;
+  params.failover = true;
+  return params;
+}
+}  // namespace
+
+MetadataJournal::MetadataJournal(net::RpcHub& hub, net::NodeId node,
+                                 std::vector<net::NodeId> kv_servers,
+                                 kv::ClientParams kv_params,
+                                 const MdParams& params)
+    : node_(node),
+      params_(params),
+      kv_(std::make_unique<kv::Client>(hub, node, std::move(kv_servers),
+                                       journal_client_params(kv_params))),
+      sim_(&hub.transport().fabric().simulation()),
+      queue_(*sim_),
+      durable_(*sim_) {}
+
+std::string MetadataJournal::journal_key(std::uint64_t seq) {
+  return std::string(kv::kReservedMetaPrefix) + "bb:j:" + std::to_string(seq);
+}
+
+std::string MetadataJournal::ckpt_key(std::uint32_t slot, std::uint32_t part) {
+  return std::string(kv::kReservedMetaPrefix) + "bb:ckpt:" +
+         std::to_string(slot) + ":" + std::to_string(part);
+}
+
+std::string MetadataJournal::ctl_key() {
+  return std::string(kv::kReservedMetaPrefix) + "bb:ctl";
+}
+
+void MetadataJournal::start() { sim_->spawn(writer_loop(generation_)); }
+
+sim::Task<void> MetadataJournal::writer_loop(std::uint64_t generation) {
+  for (;;) {
+    Pending pending = co_await queue_.recv();
+    if (generation != generation_) co_return;  // superseded by a restart
+    const sim::SimTime start = sim_->now();
+    const std::uint64_t record_bytes = pending.bytes.size();
+    const BytesPtr payload = make_bytes(std::move(pending.bytes));
+    for (;;) {
+      Status st = co_await kv_->set(journal_key(pending.seq), payload,
+                                    /*pinned=*/true);
+      if (generation != generation_) co_return;
+      if (st.is_ok()) break;
+      // An allocated record is never dropped while the master lives: a KV
+      // hiccup retries, and the blocked appenders hold their acks — no ack
+      // without durability.
+      sim_->metrics().counter("bb.md.journal_retries").add();
+      co_await sim_->delay(duration::ms);
+      if (generation != generation_) co_return;
+    }
+    durable_next_ = pending.seq + 1;
+    bytes_since_checkpoint_ += record_bytes;
+    sim_->metrics().counter("bb.md.journal_records").add();
+    sim_->metrics().counter("bb.md.journal_bytes").add(record_bytes);
+    sim_->metrics().histogram("bb.md.journal_append_ns")
+        .record(sim_->now() - start);
+    // No trace span here: the master's journal_append wrapper records the
+    // op-attributed "md.append" span covering queue wait + durability, and
+    // two overlapping spans would double-charge the md layer.
+    durable_.notify_all();
+  }
+}
+
+sim::Task<Status> MetadataJournal::append(MdRecord record) {
+  const std::uint64_t generation = generation_;
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Pending{seq, encode_record(record)});
+  while (generation == generation_ && durable_next_ <= seq) {
+    co_await durable_.wait();
+  }
+  if (generation != generation_) {
+    co_return error(StatusCode::kUnavailable,
+                    "master crashed before journal append became durable");
+  }
+  co_return Status::ok();
+}
+
+void MetadataJournal::append_async(MdRecord record) {
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Pending{seq, encode_record(record)});
+}
+
+void MetadataJournal::crash() {
+  ++generation_;
+  Pending dropped;
+  while (queue_.try_recv(dropped)) {
+  }
+  // Wake blocked appenders; they observe the generation change and report
+  // kUnavailable so their handlers never acknowledge the lost mutations.
+  durable_.notify_all();
+}
+
+sim::Task<MetadataJournal::Recovered> MetadataJournal::load() {
+  Recovered out;
+  // Control record: absent (kNotFound) simply means no checkpoint was ever
+  // written — replay the whole journal. Transient failures retry briefly.
+  for (int attempt = 0;; ++attempt) {
+    Result<BytesPtr> ctl = co_await kv_->get(ctl_key());
+    if (ctl.is_ok()) {
+      Cursor cur{ctl.value().get()};
+      const std::uint32_t slot = cur.get_u32();
+      const std::uint32_t parts = cur.get_u32();
+      const std::uint64_t replay_from = cur.get_u64();
+      if (!cur.ok) break;  // malformed control record: full replay
+      Bytes checkpoint;
+      bool complete = true;
+      for (std::uint32_t part = 0; part < parts && complete; ++part) {
+        Result<BytesPtr> piece = co_await kv_->get(ckpt_key(slot, part));
+        if (!piece.is_ok()) {
+          complete = false;
+          break;
+        }
+        checkpoint.insert(checkpoint.end(), piece.value()->begin(),
+                          piece.value()->end());
+      }
+      if (complete) {
+        out.checkpoint = std::move(checkpoint);
+        out.replay_from = replay_from;
+        checkpoint_slot_ = slot;
+      } else {
+        // A checkpoint part vanished (should be impossible under the
+        // pinned reserved range): fall back to whatever journal tail
+        // remains rather than wedging recovery.
+        sim_->metrics().counter("bb.md.recovery_errors").add();
+        out.replay_from = replay_from;
+      }
+      break;
+    }
+    if (ctl.code() == StatusCode::kNotFound || attempt >= 4) break;
+    co_await sim_->delay(duration::ms);
+  }
+
+  // Journal tail: the writer serializes appends in seq order, so the first
+  // missing key is the end of the durable, hole-free prefix.
+  for (std::uint64_t seq = out.replay_from;; ++seq) {
+    Result<BytesPtr> raw = co_await kv_->get(journal_key(seq));
+    if (!raw.is_ok()) {
+      if (raw.code() == StatusCode::kNotFound) break;
+      sim_->metrics().counter("bb.md.recovery_errors").add();
+      break;
+    }
+    Result<MdRecord> record = decode_record(*raw.value());
+    if (!record.is_ok()) {
+      sim_->metrics().counter("bb.md.recovery_errors").add();
+      break;
+    }
+    out.tail.push_back(std::move(record).value());
+  }
+
+  next_seq_ = out.replay_from + out.tail.size();
+  durable_next_ = next_seq_;
+  oldest_seq_ = out.replay_from;
+  bytes_since_checkpoint_ = 0;
+  co_return out;
+}
+
+sim::Task<Status> MetadataJournal::write_checkpoint(Bytes snapshot,
+                                                    std::uint64_t upto_seq) {
+  const std::uint64_t generation = generation_;
+  const std::uint64_t snapshot_bytes = snapshot.size();
+  // Truncation must never race ahead of a pending record's write: wait for
+  // the journal to be durable through the snapshot horizon first.
+  while (generation == generation_ && durable_next_ < upto_seq) {
+    co_await durable_.wait();
+  }
+  if (generation != generation_) {
+    co_return error(StatusCode::kUnavailable, "master crashed mid-checkpoint");
+  }
+  // Alternate slots: the previous checkpoint and control record stay intact
+  // until the new slot is fully written, so a crash at any point here
+  // recovers from a consistent snapshot.
+  const std::uint32_t slot = checkpoint_slot_ ^ 1u;
+  const auto parts = static_cast<std::uint32_t>(
+      (snapshot.size() + kCheckpointPartBytes - 1) / kCheckpointPartBytes);
+  for (std::uint32_t part = 0; part < parts; ++part) {
+    const std::uint64_t begin = part * kCheckpointPartBytes;
+    const std::uint64_t end =
+        std::min<std::uint64_t>(begin + kCheckpointPartBytes, snapshot.size());
+    Bytes piece(snapshot.begin() + static_cast<std::ptrdiff_t>(begin),
+                snapshot.begin() + static_cast<std::ptrdiff_t>(end));
+    Status st = co_await kv_->set(ckpt_key(slot, part),
+                                  make_bytes(std::move(piece)),
+                                  /*pinned=*/true);
+    if (generation != generation_) {
+      co_return error(StatusCode::kUnavailable,
+                      "master crashed mid-checkpoint");
+    }
+    if (!st.is_ok()) co_return st;  // old checkpoint + journal still intact
+  }
+  Bytes ctl;
+  put_u32(ctl, slot);
+  put_u32(ctl, parts);
+  put_u64(ctl, upto_seq);
+  Status st =
+      co_await kv_->set(ctl_key(), make_bytes(std::move(ctl)), /*pinned=*/true);
+  if (generation != generation_) {
+    co_return error(StatusCode::kUnavailable, "master crashed mid-checkpoint");
+  }
+  if (!st.is_ok()) co_return st;
+  checkpoint_slot_ = slot;
+  sim_->metrics().counter("bb.md.checkpoints").add();
+  sim_->metrics().counter("bb.md.checkpoint_bytes").add(snapshot_bytes);
+
+  // The control record is durable: every record below upto_seq is subsumed.
+  const std::uint64_t truncate_from = oldest_seq_;
+  oldest_seq_ = upto_seq;
+  bytes_since_checkpoint_ = 0;
+  for (std::uint64_t seq = truncate_from; seq < upto_seq; ++seq) {
+    (void)co_await kv_->erase(journal_key(seq));
+    if (generation != generation_) {
+      // Partially truncated is fine: re-erasing on the next checkpoint is
+      // idempotent, and recovery never reads below replay_from.
+      co_return error(StatusCode::kUnavailable,
+                      "master crashed mid-truncation");
+    }
+  }
+  sim_->metrics().counter("bb.md.journal_truncated").add(upto_seq -
+                                                         truncate_from);
+  co_return Status::ok();
+}
+
+}  // namespace hpcbb::bb

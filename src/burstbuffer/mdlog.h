@@ -1,0 +1,211 @@
+// Write-ahead metadata journal for the burst-buffer master.
+//
+// The master's file -> block map is the control plane of the whole burst
+// buffer; losing it on a master crash silently orphans every buffered byte.
+// Following the paper's design point that metadata lives in the KV tier
+// alongside data, every master state mutation is encoded as a compact
+// binary record and appended to a journal stored in the replicated KV
+// store itself, under the reserved `!md:` key range (see
+// kv::kReservedMetaPrefix) — so the journal inherits R-way replication,
+// fill-time CRC verification, and pin-against-eviction for free.
+//
+// Durability contract: a mutation is applied to the in-memory map, its
+// record is appended, and the RPC is acknowledged only once the record —
+// and every record before it — is stored (all-replica ack). A single
+// writer coroutine serializes appends in sequence order, so the durable
+// journal is always a hole-free prefix: replay never skips an acknowledged
+// mutation. Records that were still in flight when the master crashed were
+// by construction never acknowledged; the client retries through the
+// idempotent create-token / expected-block-index protocol.
+//
+// Checkpoints bound replay time: the master periodically snapshots the
+// full metadata map (MdCheckpoint), writes it in parts to an alternating
+// checkpoint slot, flips the control record, and truncates the journal
+// prefix the snapshot subsumes. A crash mid-checkpoint leaves the previous
+// slot and control record intact.
+//
+// Key layout (all under the force-pinned reserved range):
+//   !md:bb:ctl            control record {slot, parts, replay_from}
+//   !md:bb:ckpt:<s>:<i>   checkpoint part i of slot s
+//   !md:bb:j:<seq>        journal record seq
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/properties.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "kvstore/client.h"
+#include "net/rpc.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "sim/trace.h"
+
+namespace hpcbb::bb {
+
+struct MdParams {
+  // Master switch: off (the default) adds zero events to a healthy run —
+  // no journal appends, no checkpoint timer, bit-identical timing.
+  bool journal = false;
+  // Periodic checkpoint cadence (0 = size-triggered checkpoints only).
+  sim::SimTime checkpoint_interval_ns = 100 * duration::ms;
+  // Journal bytes that trigger an immediate checkpoint (0 = never).
+  std::uint64_t journal_max_bytes = 1 * MiB;
+
+  // Reads bb.md.journal, bb.md.checkpoint_interval, bb.md.journal_max_bytes
+  // over `defaults`.
+  static MdParams from_properties(const Properties& props, MdParams defaults);
+  static MdParams from_properties(const Properties& props);
+};
+
+// One journaled master mutation. A single struct covers every record type;
+// unused fields encode as zero (records are tens of bytes either way).
+enum class MdRecordType : std::uint8_t {
+  kFileCreate = 1,   // path, token
+  kBlockAdd = 2,     // path, block_index
+  kBlockSeal = 3,    // path, block_index, size, crcs, durability, replicas
+  kFlushStart = 4,   // path, block_index
+  kFlushComplete = 5,  // path, block_index
+  kBlockLost = 6,    // path, block_index (loss accounting)
+  kQuarantine = 7,   // path, block_index
+  kFileClose = 8,    // path, size
+  kFileDelete = 9,   // path
+};
+
+struct MdRecord {
+  MdRecordType type = MdRecordType::kFileCreate;
+  std::string path;
+  std::uint32_t block_index = 0;
+  std::uint64_t size = 0;
+  std::uint64_t token = 0;  // create idempotency token
+  std::uint32_t crc32c = 0;
+  std::vector<std::uint32_t> chunk_crcs;
+  bool already_durable = false;
+  bool has_local_node = false;
+  std::uint32_t local_node = 0;
+  std::uint64_t op_id = 0;
+  std::vector<std::uint32_t> replicas;  // replica-set at seal time
+};
+
+Bytes encode_record(const MdRecord& record);
+Result<MdRecord> decode_record(const Bytes& bytes);
+
+// Full-map snapshot written by a checkpoint. Counter totals ride along so a
+// restarted master reports cumulative flush/loss telemetry, not a reset.
+struct MdBlockSnapshot {
+  std::uint32_t index = 0;
+  std::uint64_t size = 0;
+  std::uint32_t crc32c = 0;
+  std::vector<std::uint32_t> chunk_crcs;
+  std::uint8_t state = 0;  // BlockState
+  bool has_local_node = false;
+  std::uint32_t local_node = 0;
+  std::uint64_t op_id = 0;
+  std::vector<std::uint32_t> replicas;
+};
+
+struct MdFileSnapshot {
+  std::string path;
+  std::uint64_t create_token = 0;
+  std::uint64_t size = 0;
+  bool closed = false;
+  std::vector<MdBlockSnapshot> blocks;
+};
+
+struct MdCheckpoint {
+  std::uint64_t flushed_blocks = 0;
+  std::uint64_t flushed_bytes = 0;
+  std::uint64_t lost_blocks = 0;
+  std::uint64_t recovered_blocks = 0;
+  std::uint64_t quarantined_blocks = 0;
+  std::vector<MdFileSnapshot> files;
+};
+
+Bytes encode_checkpoint(const MdCheckpoint& checkpoint);
+Result<MdCheckpoint> decode_checkpoint(const Bytes& bytes);
+
+class MetadataJournal {
+ public:
+  // The journal writes from the master's node with all-replica acks and
+  // ring failover forced on: an append is never acknowledged primary-only,
+  // and a KV outage reroutes instead of wedging the control plane.
+  MetadataJournal(net::RpcHub& hub, net::NodeId node,
+                  std::vector<net::NodeId> kv_servers,
+                  kv::ClientParams kv_params, const MdParams& params);
+
+  MetadataJournal(const MetadataJournal&) = delete;
+  MetadataJournal& operator=(const MetadataJournal&) = delete;
+
+  // Spawn the writer loop for the current generation. Called once after
+  // construction and again after every crash()+load() cycle.
+  void start();
+
+  // Durable append: resolves once this record and every earlier one are
+  // stored in the KV tier. Returns kUnavailable if the master crashed
+  // before durability was reached — the caller must NOT acknowledge the
+  // mutation (the client will retry through the idempotent protocol).
+  sim::Task<Status> append(MdRecord record);
+
+  // Fire-and-forget append for background mutations (flush complete, loss
+  // accounting, quarantine): nothing is acknowledged against these, so the
+  // caller need not block. Ordering relative to append() is preserved.
+  void append_async(MdRecord record);
+
+  struct Recovered {
+    Bytes checkpoint;  // empty when no checkpoint was ever written
+    std::vector<MdRecord> tail;
+    std::uint64_t replay_from = 0;
+  };
+  // Load the latest checkpoint and the journal tail past it, and reset the
+  // sequence counters to continue appending after the tail.
+  sim::Task<Recovered> load();
+
+  // Write `snapshot` (parts + control record) covering records < upto_seq,
+  // then truncate the subsumed journal prefix. Waits for the journal to be
+  // durable up to upto_seq before truncating, so an erase can never race
+  // ahead of its record's write.
+  sim::Task<Status> write_checkpoint(Bytes snapshot, std::uint64_t upto_seq);
+
+  // Master crash: drop pending (never-acknowledged) appends and fail their
+  // waiters; the writer loop of the old generation retires on next wake.
+  void crash();
+
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
+  [[nodiscard]] std::uint64_t bytes_since_checkpoint() const noexcept {
+    return bytes_since_checkpoint_;
+  }
+
+  void set_trace(sim::TraceRecorder* recorder) noexcept { trace_ = recorder; }
+
+ private:
+  struct Pending {
+    std::uint64_t seq = 0;
+    Bytes bytes;
+  };
+
+  sim::Task<void> writer_loop(std::uint64_t generation);
+
+  static std::string journal_key(std::uint64_t seq);
+  static std::string ckpt_key(std::uint32_t slot, std::uint32_t part);
+  static std::string ctl_key();
+
+  net::NodeId node_;
+  MdParams params_;
+  std::unique_ptr<kv::Client> kv_;
+  sim::Simulation* sim_;
+  sim::TraceRecorder* trace_ = nullptr;
+
+  sim::Channel<Pending> queue_;
+  sim::Condition durable_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t next_seq_ = 0;     // next sequence number to allocate
+  std::uint64_t durable_next_ = 0;  // all seqs < this are durable
+  std::uint64_t oldest_seq_ = 0;   // journal head (first non-truncated seq)
+  std::uint32_t checkpoint_slot_ = 0;
+  std::uint64_t bytes_since_checkpoint_ = 0;
+};
+
+}  // namespace hpcbb::bb

@@ -102,6 +102,7 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   master_params.dead_after = config_.bb_dead_after;
   master_params.kv_client = config_.kv_client;
   master_params.scrub = config_.bb_scrub;
+  master_params.md = config_.bb_md;
   bb_master_ = std::make_unique<bb::Master>(*fast_hub_, bb_master_node_,
                                             kv_nodes_, mds_node_,
                                             config_.scheme, master_params);
@@ -162,6 +163,24 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   // DataNode disks route corrupt_block (and scheduled corruption) through
   // the injector so HDFS corruption ticks faults.injected{kind=corrupt.*}.
   for (auto& dn : datanodes_) dn->attach_fault_injector(injector_.get());
+  // The BB master is a control-plane crash target (faults.master.*): the
+  // process dies and the node drops off the fabric, so in-flight client
+  // RPCs fail over to the RetryPolicy; restart runs journal recovery.
+  {
+    bb::Master* master = bb_master_.get();
+    net::Fabric* fabric = fabric_.get();
+    const net::NodeId node = bb_master_node_;
+    injector_->add_master_target(
+        "bb_master",
+        [master, fabric, node] {
+          master->crash();
+          fabric->set_node_up(node, false);
+        },
+        [master, fabric, node] {
+          fabric->set_node_up(node, true);
+          master->restart();
+        });
+  }
   injector_->start();
 }
 

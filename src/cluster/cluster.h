@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "burstbuffer/filesystem.h"
+#include "burstbuffer/mdlog.h"
 #include "faults/injector.h"
 #include "flowctl/controller.h"
 #include "hdfs/client.h"
@@ -110,6 +111,11 @@ struct ClusterConfig {
   faults::InjectorParams faults;
   // Background integrity scrubber over the burst buffer (0 interval = off).
   integrity::ScrubParams bb_scrub;
+  // Master metadata durability: write-ahead journal + checkpoints in the KV
+  // tier's reserved `!md:` range (bb.md.* keys). With journaling on the
+  // injector's faults.master.* schedule can crash and restart the BB master
+  // with zero metadata loss; off by default (seed behaviour).
+  bb::MdParams bb_md;
 };
 
 class Cluster {

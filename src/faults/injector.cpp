@@ -28,6 +28,14 @@ InjectorParams InjectorParams::from_properties(const Properties& props,
       props.get_duration_ns_or("faults.crash.downtime", p.crash_downtime_ns);
   p.crash_count = static_cast<std::uint32_t>(
       props.get_u64_or("faults.crash.count", p.crash_count));
+  p.master_first_ns =
+      props.get_duration_ns_or("faults.master.first", p.master_first_ns);
+  p.master_period_ns =
+      props.get_duration_ns_or("faults.master.period", p.master_period_ns);
+  p.master_downtime_ns =
+      props.get_duration_ns_or("faults.master.downtime", p.master_downtime_ns);
+  p.master_count = static_cast<std::uint32_t>(
+      props.get_u64_or("faults.master.count", p.master_count));
   p.limp_first_ns =
       props.get_duration_ns_or("faults.limp.first", p.limp_first_ns);
   p.limp_period_ns =
@@ -57,6 +65,13 @@ void FaultInjector::add_crash_target(std::string name,
                                      std::function<void()> crash,
                                      std::function<void()> restart) {
   crash_targets_.push_back(
+      CrashTarget{std::move(name), std::move(crash), std::move(restart)});
+}
+
+void FaultInjector::add_master_target(std::string name,
+                                      std::function<void()> crash,
+                                      std::function<void()> restart) {
+  master_targets_.push_back(
       CrashTarget{std::move(name), std::move(crash), std::move(restart)});
 }
 
@@ -111,6 +126,9 @@ void FaultInjector::start() {
   if (params_.crash_first_ns > 0 && !crash_targets_.empty()) {
     sim_->spawn(crash_process());
   }
+  if (params_.master_first_ns > 0 && !master_targets_.empty()) {
+    sim_->spawn(master_process());
+  }
   if (params_.limp_first_ns > 0 && !device_targets_.empty()) {
     sim_->spawn(limp_process());
   }
@@ -142,6 +160,18 @@ void FaultInjector::restart_target(std::size_t index) {
   target.restart();
 }
 
+void FaultInjector::crash_master_target(std::size_t index) {
+  CrashTarget& target = master_targets_.at(index);
+  note("master_crash", target.name);
+  target.crash();
+}
+
+void FaultInjector::restart_master_target(std::size_t index) {
+  CrashTarget& target = master_targets_.at(index);
+  note("master_restart", target.name);
+  target.restart();
+}
+
 sim::Task<void> FaultInjector::crash_process() {
   co_await sim_->delay(params_.crash_first_ns);
   for (std::uint32_t i = 0; i < params_.crash_count; ++i) {
@@ -159,6 +189,27 @@ sim::Task<void> FaultInjector::crash_process() {
           params_.crash_downtime_ns > 0 ? params_.crash_downtime_ns : 0;
       const sim::SimTime gap = params_.crash_period_ns > since_crash
                                    ? params_.crash_period_ns - since_crash
+                                   : 0;
+      co_await sim_->delay(gap);
+    }
+  }
+}
+
+sim::Task<void> FaultInjector::master_process() {
+  co_await sim_->delay(params_.master_first_ns);
+  for (std::uint32_t i = 0; i < params_.master_count; ++i) {
+    const std::size_t index = i % master_targets_.size();
+    crash_master_target(index);
+    if (params_.master_downtime_ns > 0) {
+      co_await sim_->delay(params_.master_downtime_ns);
+      restart_master_target(index);
+    }
+    if (i + 1 < params_.master_count) {
+      if (params_.master_period_ns == 0) break;  // one-shot schedule
+      const sim::SimTime since_crash =
+          params_.master_downtime_ns > 0 ? params_.master_downtime_ns : 0;
+      const sim::SimTime gap = params_.master_period_ns > since_crash
+                                   ? params_.master_period_ns - since_crash
                                    : 0;
       co_await sim_->delay(gap);
     }

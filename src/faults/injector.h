@@ -57,6 +57,15 @@ struct InjectorParams {
   double limp_factor = 8.0;
   std::uint32_t limp_count = 1;
 
+  // Control-plane crash schedule, round-robin over master targets. Separate
+  // from the KV crash schedule: master crashes exercise metadata recovery
+  // (journal replay), not data-plane re-replication, and chaos runs want to
+  // aim them independently.
+  sim::SimTime master_first_ns = 0;  // 0 = no scheduled master crashes
+  sim::SimTime master_period_ns = 0;
+  sim::SimTime master_downtime_ns = 50 * duration::ms;  // 0 = stays down
+  std::uint32_t master_count = 1;
+
   // Silent-corruption schedule, round-robin over corruption targets (KV
   // stores and storage devices), cycling bit-flip -> torn-write ->
   // stale-read. Each event mutates one resident object's bytes in place
@@ -69,6 +78,8 @@ struct InjectorParams {
   //   faults.enabled, faults.seed
   //   faults.rpc.drop_prob / delay_prob / delay (duration)
   //   faults.crash.first / period / downtime (durations), faults.crash.count
+  //   faults.master.first / period / downtime (durations),
+  //   faults.master.count
   //   faults.limp.first / period / duration (durations),
   //   faults.limp.factor, faults.limp.count
   //   faults.corrupt.first / period (durations), faults.corrupt.count
@@ -89,6 +100,12 @@ class FaultInjector {
   // bring it back empty and reachable.
   void add_crash_target(std::string name, std::function<void()> crash,
                         std::function<void()> restart);
+
+  // Register a control-plane (BB master) node for the faults.master.*
+  // schedule. Same contract as add_crash_target, kept in a separate list so
+  // the two schedules aim independently.
+  void add_master_target(std::string name, std::function<void()> crash,
+                         std::function<void()> restart);
 
   // Register a device that limpware episodes may degrade.
   void add_device_target(std::string name, storage::Device* device);
@@ -116,6 +133,14 @@ class FaultInjector {
   void restart_target(std::size_t index);
   [[nodiscard]] std::size_t crash_target_count() const noexcept {
     return crash_targets_.size();
+  }
+
+  // Event-driven master crash/restart (counts as kind master_crash /
+  // master_restart), for harnesses crashing at a workload milestone.
+  void crash_master_target(std::size_t index);
+  void restart_master_target(std::size_t index);
+  [[nodiscard]] std::size_t master_target_count() const noexcept {
+    return master_targets_.size();
   }
 
   // Event-driven corruption of a registered target, with the same counting
@@ -149,6 +174,7 @@ class FaultInjector {
   };
 
   sim::Task<void> crash_process();
+  sim::Task<void> master_process();
   sim::Task<void> limp_process();
   sim::Task<void> corrupt_process();
 
@@ -161,6 +187,7 @@ class FaultInjector {
   Rng corrupt_rng_;   // selector draws for the corruption schedule
   bool started_ = false;
   std::vector<CrashTarget> crash_targets_;
+  std::vector<CrashTarget> master_targets_;
   std::vector<DeviceTarget> device_targets_;
   std::vector<CorruptTarget> corrupt_targets_;
 };

@@ -160,6 +160,22 @@ void CapacityController::touch_clean(const std::string& id) {
   clean_lru_.splice(clean_lru_.begin(), clean_lru_, it->second);
 }
 
+void CapacityController::reset_accounting() {
+  reserved_ = 0;
+  dirty_ = 0;
+  clean_ = 0;
+  clean_lru_.clear();
+  clean_index_.clear();
+  CleanBlock dropped;
+  while (evictions_.try_recv(dropped)) {
+  }
+  forced_urgent_ = false;
+  // Works even with flow control disabled: publish_gauges/notify are cheap
+  // and the counters are already zero in that mode.
+  if (enabled()) publish_gauges();
+  drained_.notify_all();
+}
+
 void CapacityController::reclaim(std::uint64_t incoming) {
   while (usage_bytes() + incoming > high_bytes() && !clean_lru_.empty()) {
     evict_lru_block();

@@ -137,6 +137,14 @@ class CapacityController {
   void forget_clean(const std::string& id);
   // Keep a hot clean block resident (LRU touch); no-op if absent.
   void touch_clean(const std::string& id);
+  // Master crash: all credits, dirty bytes, and clean-LRU entries are
+  // volatile master state and die with it. Zeroes the accounting (peak
+  // high-watermarks survive — they are run-level telemetry), drains the
+  // eviction queue, and wakes stalled writers so their admission waits can
+  // fail over to the retry path instead of wedging. Recovery rebuilds the
+  // dirty/clean totals from replayed metadata via reservation_to_dirty /
+  // reservation_to_clean with a zero reserved component.
+  void reset_accounting();
 
   // ---- eviction ----
   // Blocks the controller decided to evict. The owner drains this channel

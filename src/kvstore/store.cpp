@@ -302,6 +302,14 @@ KvStore::Shard& KvStore::shard_for(std::uint64_t hash) const noexcept {
 Status KvStore::set(std::string_view key, std::span<const std::uint8_t> value,
                     const SetOptions& options) {
   const std::uint64_t hash = fnv1a(key);
+  if (key.starts_with(kReservedMetaPrefix)) {
+    // Reserved control-plane range: journal/checkpoint keys are pinned
+    // unconditionally — evicting a journal record would silently undo an
+    // acknowledged metadata mutation.
+    SetOptions forced = options;
+    forced.pinned = true;
+    return shard_for(hash).set(hash, key, value, forced);
+  }
   return shard_for(hash).set(hash, key, value, options);
 }
 

@@ -25,6 +25,13 @@
 
 namespace hpcbb::kv {
 
+// Reserved control-plane key range. Keys under this prefix hold the burst
+// buffer master's metadata journal, checkpoints, and control records; the
+// store force-pins them on set() so cache eviction can never drop
+// control-plane state, whatever the caller passed. Data keys never start
+// with '!' (block chunks are "bb:<path>#..."), so the range is collision-free.
+inline constexpr std::string_view kReservedMetaPrefix = "!md:";
+
 struct StoreParams {
   std::uint64_t memory_budget = 256ull << 20;
   std::uint32_t shard_count = 8;

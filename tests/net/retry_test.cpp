@@ -56,6 +56,89 @@ TEST(RetryPolicyTest, DefaultIsNoop) {
   EXPECT_FALSE(with_timeout.is_noop());
 }
 
+TEST(RetryPolicyTest, SingleAttemptWithTimeoutIsNotNoop) {
+  // The noop test is "no retries AND no deadline": a single-attempt policy
+  // with a timeout must still take the resilient path so the deadline is
+  // enforced, and a zero-timeout single-attempt policy must not.
+  RetryPolicy one_shot_deadline;
+  one_shot_deadline.max_attempts = 1;
+  one_shot_deadline.timeout_ns = 1 * ms;
+  EXPECT_FALSE(one_shot_deadline.is_noop());
+  RetryPolicy one_shot_no_deadline;
+  one_shot_no_deadline.max_attempts = 1;
+  one_shot_no_deadline.timeout_ns = 0;
+  EXPECT_TRUE(one_shot_no_deadline.is_noop());
+  RetryPolicy zero_attempts;  // degenerate but must still count as no-op
+  zero_attempts.max_attempts = 0;
+  EXPECT_TRUE(zero_attempts.is_noop());
+}
+
+TEST(RetryPolicyTest, SingleAttemptStillEnforcesDeadline) {
+  // max_attempts=1 means no retries, but a nonzero timeout must still cut
+  // a stalled handler off at the deadline instead of waiting it out.
+  Rig rig;
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  policy.timeout_ns = 1 * ms;
+  rig.hub.set_retry_policy(policy);
+  rig.hub.bind(1, 7000, typed_handler<EchoRequest>(
+      [&rig](std::shared_ptr<const EchoRequest>) -> Task<RpcResponse> {
+        co_await rig.sim.delay(50 * ms);
+        co_return rpc_error(error(StatusCode::kInternal, "too late"));
+      }));
+
+  Status status;
+  sim::SimTime returned_at = 0;
+  rig.sim.spawn([](Rig& r, Status& out, sim::SimTime& at) -> Task<void> {
+    auto req = std::make_shared<const EchoRequest>(EchoRequest{"x"});
+    out = (co_await r.hub.call<EchoReply>(0, 1, 7000, req)).status();
+    at = r.sim.now();
+  }(rig, status, returned_at));
+  rig.sim.run();
+  EXPECT_EQ(status.code(), StatusCode::kTimeout);
+  // The caller got its verdict at the deadline, not after the handler's
+  // 50ms stall (the orphaned handler still drains before run() returns).
+  EXPECT_LT(returned_at, 10 * ms);
+  EXPECT_EQ(rig.sim.metrics().counter_value("net.retry.timeouts"), 1u);
+  EXPECT_EQ(rig.sim.metrics().counter_value("net.retry.attempts"), 0u);
+  // A single-shot policy never "exhausts retries": that counter is
+  // reserved for policies that actually had retries to spend.
+  EXPECT_EQ(rig.sim.metrics().counter_value("net.retry.exhausted"), 0u);
+}
+
+TEST(RetryPolicyTest, RetriesSpanUnbindRebindRestartWindow) {
+  // The shape a master restart produces: the service was up, goes down
+  // (unbind), and rebinds a few ms later. Calls issued inside the window
+  // must ride the retry loop across the gap and land on the new binding.
+  Rig rig;
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.backoff_base_ns = 500 * us;
+  policy.backoff_max_ns = 2 * ms;
+  rig.hub.set_retry_policy(policy);
+  rig.hub.bind(1, 7000, echo_handler());
+
+  rig.sim.spawn([](Rig& r) -> Task<void> {
+    co_await r.sim.delay(1 * ms);
+    r.hub.unbind(1, 7000);  // service goes down for a restart...
+    co_await r.sim.delay(4 * ms);
+    r.hub.bind(1, 7000, echo_handler());  // ...and comes back
+  }(rig));
+
+  bool ok = false;
+  rig.sim.spawn([](Rig& r, bool& out) -> Task<void> {
+    co_await r.sim.delay(2 * ms);  // issue mid-outage
+    auto req = std::make_shared<const EchoRequest>(EchoRequest{"again"});
+    auto result = co_await r.hub.call<EchoReply>(0, 1, 7000, req);
+    out = result.is_ok() && result.value()->text == "again";
+  }(rig, ok));
+  rig.sim.run();
+  EXPECT_TRUE(ok);
+  EXPECT_GE(rig.sim.metrics().counter_value("net.retry.attempts"), 1u);
+  EXPECT_EQ(rig.sim.metrics().counter_value("net.retry.recovered"), 1u);
+  EXPECT_EQ(rig.sim.metrics().counter_value("net.retry.exhausted"), 0u);
+}
+
 TEST(RetryPolicyTest, NoopPolicyMatchesRawCallTiming) {
   // With the (default) no-op hub policy, call() must produce the exact same
   // event sequence as the raw path — resilience wiring costs nothing until

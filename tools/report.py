@@ -30,6 +30,7 @@ RESILIENCE_PREFIXES = (
     "kv.restarts",
     "bb.detector.",
     "bb.degraded.",
+    "bb.md.",
     "bb.store.buffer_skips",
     "bb.read.lustre_fallbacks",
 )
@@ -222,7 +223,15 @@ def diff_section(title, left, right, values):
         if name not in right:
             lines.append(f"  {name:<{width}}  only in baseline")
             continue
-        line = delta_line(name, *values(left[name], right[name]), width)
+        try:
+            a, b = values(left[name], right[name])
+        except (KeyError, TypeError):
+            # Schema drift (e.g. a v1 report next to a v2 one): a metric
+            # may exist on both sides but lack the field this section
+            # compares. Report it instead of crashing the whole diff.
+            lines.append(f"  {name:<{width}}  n/a (field missing in one report)")
+            continue
+        line = delta_line(name, a, b, width)
         if line:
             lines.append(line)
     if lines:
