@@ -57,7 +57,10 @@ OverloadPoint run_case(std::uint64_t buffer_total, std::uint64_t dataset) {
 
   const auto& fc = cluster.bb_master().flow_control();
   auto& metrics = cluster.sim().metrics();
-  point.p99_stall_ns = metrics.histogram("flowctl.stall_ns").quantile(0.99);
+  // No stalls at low offered load is a real 0, not "no data" — fold the
+  // never-recorded case back to 0 explicitly.
+  point.p99_stall_ns =
+      metrics.histogram_quantile("flowctl.stall_ns", 0.99).value_or(0);
   point.stalls = metrics.counter("flowctl.stalls").get();
   point.peak_dirty = fc.peak_dirty_bytes();
   point.high_bytes = fc.high_bytes();

@@ -16,12 +16,18 @@
 // Accepts key=value overrides (e.g. smoke=1 faults.seed=7 files=4). The
 // whole chaos schedule is deterministic in faults.seed.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "faults/injector.h"
 #include "net/retry.h"
+#include "obs/attribution.h"
+#include "obs/flightrec.h"
+#include "obs/health.h"
+#include "obs/sampler.h"
+#include "sim/trace.h"
 
 namespace {
 
@@ -422,11 +428,11 @@ Outcome run_scheme(bb::Scheme scheme, const Properties& props,
   return outcome;
 }
 
-// Corruption storm on BB-Async: crash/RPC faults off so every anomaly is
+// Corruption-storm configuration: crash/RPC faults off so every anomaly is
 // attributable to corruption, the scrubber on. faults.corrupt.* and
 // kv.scrub.* properties override the storm defaults.
-Outcome run_integrity(const Properties& props, const ChaosKnobs& k,
-                      std::uint32_t repl_factor) {
+ClusterConfig integrity_config(const Properties& props, const ChaosKnobs& k,
+                               std::uint32_t repl_factor) {
   ClusterConfig config = base_config(bb::Scheme::kAsync, props);
   faults::InjectorParams storm;
   storm.enabled = true;
@@ -440,7 +446,12 @@ Outcome run_integrity(const Properties& props, const ChaosKnobs& k,
   config.bb_scrub.chunk_pace_ns =
       props.get_duration_ns_or("kv.scrub.pace", 0);
   config.kv_client.replication_factor = repl_factor;
-  Cluster cluster(config);
+  return config;
+}
+
+Outcome run_integrity(const Properties& props, const ChaosKnobs& k,
+                      std::uint32_t repl_factor) {
+  Cluster cluster(integrity_config(props, k, repl_factor));
   Outcome outcome;
   hpcbb::bench::run_to_completion(cluster,
                                   integrity_task(cluster, k, outcome));
@@ -452,8 +463,9 @@ Outcome run_integrity(const Properties& props, const ChaosKnobs& k,
 // the data plane stay off so everything in the section is attributable to
 // the control-plane outage; faults.master.* properties override the
 // schedule. Deterministic in faults.seed like the rest of the bench.
-Outcome run_master_crash(bb::Scheme scheme, const Properties& props,
-                         const ChaosKnobs& k, std::uint32_t repl_factor) {
+ClusterConfig master_crash_config(bb::Scheme scheme, const Properties& props,
+                                  const ChaosKnobs& k,
+                                  std::uint32_t repl_factor) {
   ClusterConfig config = base_config(scheme, props);
   config.bb_md.journal = true;
   config.kv_client.replication_factor = repl_factor;
@@ -473,12 +485,180 @@ Outcome run_master_crash(bb::Scheme scheme, const Properties& props,
       k.smoke ? 10 * duration::ms : 50 * duration::ms;
   faults.master_count = 1;
   config.faults = faults::InjectorParams::from_properties(props, faults);
-  Cluster cluster(config);
+  return config;
+}
+
+Outcome run_master_crash(bb::Scheme scheme, const Properties& props,
+                         const ChaosKnobs& k, std::uint32_t repl_factor) {
+  Cluster cluster(master_crash_config(scheme, props, k, repl_factor));
   Outcome outcome;
   hpcbb::bench::run_to_completion(cluster,
                                   master_crash_task(cluster, k, outcome));
   collect_counters(cluster, outcome);
   return outcome;
+}
+
+// ---- health monitor (DESIGN.md §15) ----
+// Every fault class above must also be *observable*: a run with the SLO
+// engine armed has to page the one rule mapped to the injected fault class
+// and emit a parseable hpcbb.incident.v1 bundle, while the identical healthy
+// run fires zero alerts. This is the bench-level proof that the alert table
+// in EXPERIMENTS.md actually discriminates fault classes.
+
+// The observability stack the experiment runner wires, built per health run:
+// trace recorder -> span sink -> {latency attribution, flight recorder},
+// sampler tick -> burn-rate SLO engine. Only health runs construct one, so
+// the earlier sections keep their exact event schedules.
+struct HealthHarness {
+  sim::TraceRecorder trace;
+  obs::SpanAccountant attribution;
+  obs::FlightRecorder flightrec;
+  obs::HealthMonitor monitor;
+  obs::TimeSeriesSampler sampler;
+
+  HealthHarness(Cluster& c, obs::HealthParams params, SimTime interval_ns)
+      : trace(c.sim()),
+        attribution(5),
+        flightrec(c.sim(), params.flightrec_bytes),
+        monitor(c.sim(), std::move(params)),
+        sampler(c.sim(), interval_ns) {
+    c.bb_master().set_trace(&trace);
+    c.sim().set_trace(&trace);
+    trace.set_span_sink([this](const sim::TraceSpan& s) {
+      attribution.on_span_close(s);
+      flightrec.on_span_close(s);
+    });
+    monitor.set_flight_recorder(&flightrec);
+    monitor.set_accountant(&attribution);
+    monitor.attach(sampler);
+    sampler.watch_gauge("bb.kv_live");
+    sampler.watch_gauge("bb.master_up");
+    sampler.watch_gauge("bb.dirty_bytes");
+    sampler.watch_counter("kv.integrity.detected");
+  }
+};
+
+// The workload finishing is what quiesces the sampler (and with it the
+// monitor's evaluation clock).
+Task<void> with_sampler(Task<void> inner, obs::TimeSeriesSampler& sampler) {
+  co_await std::move(inner);
+  sampler.stop();
+}
+
+// DFSIO burst + flush drain for the limpware class: no crash/RPC faults, so
+// every slow flush is attributable to the degraded devices.
+Task<void> limp_task(Cluster& c, const ChaosKnobs& k, Outcome& out) {
+  const auto kind = cluster::FsKind::kBurstBuffer;
+  mapred::DfsioParams dfsio;
+  dfsio.files = k.files;
+  dfsio.file_size = k.file_size;
+  auto write_result = co_await mapred::dfsio_write(
+      c.filesystem(kind), c.hub_for(kind), c.compute_nodes(), dfsio);
+  out.write_ok = write_result.is_ok();
+  if (write_result.is_ok()) {
+    out.write_mbps = write_result.value().aggregate_mbps;
+  }
+  co_await c.bb_master().wait_all_flushed();
+  c.bb_master().stop_heartbeat();
+}
+
+// One limpware episode on the first device target (kv0's journal SSD, which
+// the put path co_awaits), spanning the write burst. Episodes are serialized
+// by the injector, so one long episode beats many short ones here.
+ClusterConfig limp_config(const Properties& props, const ChaosKnobs& k) {
+  ClusterConfig config = base_config(bb::Scheme::kAsync, props);
+  faults::InjectorParams limp;
+  limp.enabled = true;
+  limp.seed = k.faults.seed;
+  // The episode must be in force before the burst's first puts reach the
+  // journal: Device::io prices each transfer when it is *enqueued*, so a
+  // slowdown applied mid-queue would not reprice writes already in line.
+  limp.limp_first_ns = 100 * duration::us;
+  limp.limp_duration_ns = k.smoke ? 60 * duration::ms : 600 * duration::ms;
+  limp.limp_factor = 8.0;
+  limp.limp_count = 1;
+  config.faults = faults::InjectorParams::from_properties(props, limp);
+  return config;
+}
+
+// The limpware SLO threshold is relative: 3x the put-latency max of a
+// fault-free run of the same workload, so the rule tracks the geometry
+// instead of hard-coding a simulator constant.
+std::uint64_t healthy_put_max_ns(const Properties& props,
+                                 const ChaosKnobs& k) {
+  Cluster cluster(base_config(bb::Scheme::kAsync, props));
+  Outcome outcome;
+  hpcbb::bench::run_to_completion(cluster, limp_task(cluster, k, outcome));
+  const auto histograms = cluster.sim().metrics().histograms();
+  const auto it = histograms.find("kv.put");
+  return it != histograms.end() ? it->second.max : 0;
+}
+
+// Where incident bundles land: the working directory, or $HPCBB_BENCH_OUT
+// beside the JSON results (CI uploads incident-*.json as an artifact).
+std::string incident_dir() {
+  if (const char* dir = std::getenv("HPCBB_BENCH_OUT")) return dir;
+  return ".";
+}
+
+struct HealthOutcome {
+  std::uint64_t warns = 0;
+  std::uint64_t pages = 0;
+  std::uint64_t resolves = 0;
+  std::uint64_t healthy_alerts = 0;  // transitions in the fault-free twin
+  std::size_t incidents = 0;
+  bool rule_paged = false;     // the mapped rule reached page state
+  bool bundle_ok = false;      // incident parses: schema + flightrec + alerts
+  bool bundle_faults = false;  // bundle correlates >= 1 injected fault
+  bool bundle_suspects = false;  // >= 1 op_id in flight at a fault instant
+  std::uint64_t flightrec_dropped = 0;
+};
+
+using HealthTask = Task<void> (*)(Cluster&, const ChaosKnobs&, Outcome&);
+
+// One instrumented run: `config` carries the fault schedule (or none, for
+// the healthy twin), `slo` the rule set. Fills the monitor-side fields of
+// HealthOutcome; healthy_alerts is merged by the caller.
+HealthOutcome run_health(const ClusterConfig& config, const Properties& slo,
+                         const ChaosKnobs& k, const std::string& rule,
+                         HealthTask task) {
+  HealthOutcome out;
+  auto params = obs::HealthParams::from_properties(slo);
+  if (!params.is_ok()) {
+    std::fprintf(stderr, "health rules rejected: %s\n",
+                 params.status().to_string().c_str());
+    return out;
+  }
+  Cluster cluster(config);
+  const SimTime interval = k.smoke ? 2 * duration::ms : 10 * duration::ms;
+  HealthHarness harness(cluster, std::move(params).value(), interval);
+  Outcome outcome;
+  harness.sampler.start();
+  hpcbb::bench::run_to_completion(
+      cluster, with_sampler(task(cluster, k, outcome), harness.sampler));
+  out.warns = harness.monitor.warn_count();
+  out.pages = harness.monitor.page_count();
+  out.resolves = harness.monitor.resolve_count();
+  out.incidents = harness.monitor.incidents().size();
+  out.flightrec_dropped = harness.flightrec.dropped_total();
+  for (const obs::AlertEvent& event : harness.monitor.transitions()) {
+    if (event.rule == rule && event.to == obs::AlertState::kPage) {
+      out.rule_paged = true;
+    }
+  }
+  for (const obs::Incident& incident : harness.monitor.incidents()) {
+    if (incident.rule != rule) continue;
+    const std::string& json = incident.json;
+    out.bundle_ok =
+        json.find("\"schema\":\"hpcbb.incident.v1\"") != std::string::npos &&
+        json.find("\"flightrec\":{") != std::string::npos &&
+        json.find("\"alerts\":[{") != std::string::npos;
+    out.bundle_faults = json.find("\"faults\":[{") != std::string::npos;
+    out.bundle_suspects =
+        json.find("\"suspect_op_ids\":[]") == std::string::npos;
+    break;
+  }
+  return out;
 }
 
 }  // namespace
@@ -730,5 +910,120 @@ int main(int argc, char** argv) {
   std::printf("(recov-ms = journal-replay recovery time p50/max; zero-loss "
               "= no lost blocks, every file readable, recovery clean — the "
               "R=2 invariant)\n");
-  return hpcbb::bench::finish(result, argc, argv);
+
+  // ---- health monitor: every fault class above re-run with the SLO engine
+  // armed. The class's mapped rule must page with a parseable incident
+  // bundle that correlates the injected faults, and the fault-free twin of
+  // the same run must fire zero alerts (EXPERIMENTS.md alert table).
+  std::printf("\nhealth monitor (SLO burn-rate alerts per fault class):\n");
+  std::printf("%-12s %-24s %7s %5s %8s %6s %6s %6s %8s\n",
+              "class", "rule", "healthy", "pages", "resolves", "incid",
+              "bundle", "fault", "suspect");
+  bool health_ok = true;
+  const std::string inc_dir = incident_dir();
+  const auto slo_base = [&inc_dir](const char* prefix) {
+    Properties slo;
+    slo.set("slo.incident_dir", inc_dir);
+    slo.set("slo.incident_prefix", prefix);
+    return slo;
+  };
+  const auto report_health = [&](const char* cls, const char* rule,
+                                 const HealthOutcome& o,
+                                 bool expect_suspects) {
+    const bool ok = o.rule_paged && o.bundle_ok && o.bundle_faults &&
+                    o.healthy_alerts == 0 &&
+                    (!expect_suspects || o.bundle_suspects);
+    health_ok = health_ok && ok;
+    std::printf("%-12s %-24s %7llu %5llu %8llu %6zu %6s %6s %8s%s\n", cls,
+                rule, static_cast<unsigned long long>(o.healthy_alerts),
+                static_cast<unsigned long long>(o.pages),
+                static_cast<unsigned long long>(o.resolves), o.incidents,
+                o.bundle_ok ? "yes" : "NO", o.bundle_faults ? "yes" : "NO",
+                o.bundle_suspects ? "yes" : "-", ok ? "" : "   <- FAIL");
+    result.add("health-pages", cls, static_cast<double>(o.pages));
+    result.add("health-warns", cls, static_cast<double>(o.warns));
+    result.add("health-resolves", cls, static_cast<double>(o.resolves));
+    result.add("health-incidents", cls, static_cast<double>(o.incidents));
+    result.add("health-healthy-alerts", cls,
+               static_cast<double>(o.healthy_alerts));
+    result.add("health-rule-paged", cls, o.rule_paged ? 1.0 : 0.0);
+    result.add("health-bundle-ok", cls, o.bundle_ok ? 1.0 : 0.0);
+    result.add("health-flightrec-dropped", cls,
+               static_cast<double>(o.flightrec_dropped));
+  };
+  const auto healthy_alerts = [](const HealthOutcome& o) {
+    return o.warns + o.pages + o.resolves;
+  };
+
+  {
+    // KV crash: the failure detector's live-peer gauge dips below the full
+    // ring while a server is down.
+    ClusterConfig faulted = base_config(bb::Scheme::kAsync, props);
+    faulted.faults = knobs.faults;
+    Properties slo = slo_base("incident-kvcrash");
+    slo.set("slo.kv_live_min", std::to_string(faulted.kv_servers));
+    HealthOutcome chaos =
+        run_health(faulted, slo, knobs, "kv_live_min", chaos_task);
+    chaos.healthy_alerts = healthy_alerts(run_health(
+        base_config(bb::Scheme::kAsync, props), slo, knobs, "kv_live_min",
+        chaos_task));
+    report_health("kv-crash", "kv_live_min", chaos, true);
+  }
+  {
+    // Master crash: the control-plane liveness gauge drops to 0 for the
+    // whole downtime window.
+    ClusterConfig faulted = master_crash_config(bb::Scheme::kAsync, props,
+                                                knobs, 1);
+    ClusterConfig healthy = faulted;
+    healthy.faults = faults::InjectorParams{};
+    Properties slo = slo_base("incident-master");
+    slo.set("slo.master_up_min", "1");
+    HealthOutcome chaos =
+        run_health(faulted, slo, knobs, "master_up_min", master_crash_task);
+    chaos.healthy_alerts = healthy_alerts(
+        run_health(healthy, slo, knobs, "master_up_min", master_crash_task));
+    report_health("master-crash", "master_up_min", chaos, true);
+  }
+  {
+    // Corruption storm: any verified-read or scrubber detection at all is a
+    // breach (threshold 0 on the cumulative detection counters).
+    ClusterConfig faulted = integrity_config(props, knobs, 1);
+    ClusterConfig healthy = faulted;
+    healthy.faults = faults::InjectorParams{};
+    Properties slo = slo_base("incident-corrupt");
+    slo.set("slo.integrity_detected_max", "0");
+    HealthOutcome chaos = run_health(faulted, slo, knobs,
+                                     "integrity_detected_max", integrity_task);
+    chaos.healthy_alerts = healthy_alerts(run_health(
+        healthy, slo, knobs, "integrity_detected_max", integrity_task));
+    report_health("corruption", "integrity_detected_max", chaos, false);
+  }
+  {
+    // Limpware: put latency through the degraded journal SSD blows past 3x
+    // the fault-free maximum of the same workload (generic max_max rule —
+    // no built-in needed for a metric named in the key).
+    const std::uint64_t baseline = healthy_put_max_ns(props, knobs);
+    ClusterConfig faulted = limp_config(props, knobs);
+    ClusterConfig healthy = faulted;
+    healthy.faults = faults::InjectorParams{};
+    Properties slo = slo_base("incident-limp");
+    slo.set("slo.max_max.kv.put", std::to_string(3 * baseline) + "ns");
+    HealthOutcome chaos =
+        run_health(faulted, slo, knobs, "max_max.kv.put", limp_task);
+    chaos.healthy_alerts = healthy_alerts(
+        run_health(healthy, slo, knobs, "max_max.kv.put", limp_task));
+    report_health("limpware", "max_max.kv.put", chaos, false);
+    result.add("health-limp-baseline-put-ms", "limpware",
+               static_cast<double>(baseline) / hpcbb::duration::ms);
+  }
+  std::printf("(healthy = alert transitions in the fault-free twin, must be "
+              "0; bundle = hpcbb.incident.v1 with flight-recorder rings; "
+              "fault/suspect = the bundle correlates injected faults and "
+              "in-flight op_ids)\n");
+  std::printf("\n%s: every fault class paged its mapped SLO rule with a "
+              "parseable incident bundle and zero healthy-run alerts\n",
+              health_ok ? "PASS" : "FAIL");
+
+  const int gate_rc = hpcbb::bench::finish(result, argc, argv);
+  return health_ok ? gate_rc : 1;
 }

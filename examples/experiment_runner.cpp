@@ -11,7 +11,8 @@
 // Keys: fs={hdfs,lustre,bb}, bb.scheme={async,sync,local}, files,
 // file.size, cluster.nodes, kv.servers, kv.memory, block.size,
 // bb.promote={0,1}, trace.out=<path>, metrics.out=<path> (JSON report,
-// schema hpcbb.report.v2, including per-op latency attribution),
+// schema hpcbb.report.v3, including per-op latency attribution and, with
+// slo.* rules configured, the online health monitor's "health" section),
 // timeline.out=<path> (CSV time series), stats.interval=<duration>
 // (sampling period, e.g. 100ms; default 100ms), attr.topk=<n> (slowest ops
 // dumped with full span chains in the report; default 5).
@@ -25,6 +26,10 @@
 // Metadata durability (DESIGN.md §14): bb.md.journal={0,1},
 // bb.md.checkpoint_interval=<duration>, bb.md.journal_max_bytes, plus the
 // master crash schedule faults.master.first / period / downtime / count.
+// Health monitoring (DESIGN.md §15): slo.* rules (burn-rate alert engine
+// on the sampler tick), flightrec.bytes (flight-recorder budget),
+// slo.incident_dir (where hpcbb.incident.v1 bundles land on page). No
+// slo.* keys = no monitor, and timing bit-identical to a build without it.
 // Malformed resilience keys exit with status 2 instead of silently
 // defaulting.
 #include <cstdio>
@@ -32,12 +37,16 @@
 #include <sstream>
 #include <string>
 
+#include <memory>
+
 #include "cluster/cluster.h"
 #include "common/properties.h"
 #include "common/strings.h"
 #include "common/units.h"
 #include "mapred/workloads.h"
 #include "obs/attribution.h"
+#include "obs/flightrec.h"
+#include "obs/health.h"
 #include "obs/report.h"
 #include "obs/sampler.h"
 #include "sim/sync.h"
@@ -150,6 +159,14 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  // SLO/flight-recorder keys ride the same reject-don't-default contract:
+  // from_properties validates the whole slo.* / flightrec.* namespace.
+  auto health_params = obs::HealthParams::from_properties(props);
+  if (!health_params.is_ok()) {
+    std::fprintf(stderr, "bad config: %s\n",
+                 health_params.status().to_string().c_str());
+    return 2;
+  }
   config.bb_scrub.interval_ns =
       props.get_duration_ns_or("kv.scrub.interval", 0);
   config.bb_scrub.chunk_pace_ns = props.get_duration_ns_or("kv.scrub.pace", 0);
@@ -181,8 +198,24 @@ int main(int argc, char** argv) {
   // per-op critical-path breakdowns for the report's "attribution" section.
   obs::SpanAccountant attribution(
       static_cast<std::size_t>(props.get_u64_or("attr.topk", 5)));
-  trace.set_span_sink(
-      [&attribution](const sim::TraceSpan& s) { attribution.on_span_close(s); });
+  // Health monitor + flight recorder only when slo.* rules are configured:
+  // the monitor rides the sampler tick and the recorder rides the span
+  // sink, so an unconfigured run schedules zero extra events.
+  std::unique_ptr<obs::FlightRecorder> flightrec;
+  std::unique_ptr<obs::HealthMonitor> health;
+  if (!health_params.value().rules.empty()) {
+    flightrec = std::make_unique<obs::FlightRecorder>(
+        cluster.sim(), health_params.value().flightrec_bytes);
+    health = std::make_unique<obs::HealthMonitor>(
+        cluster.sim(), std::move(health_params).value());
+    health->set_flight_recorder(flightrec.get());
+    health->set_accountant(&attribution);
+  }
+  trace.set_span_sink([&attribution, rec = flightrec.get()](
+                          const sim::TraceSpan& s) {
+    attribution.on_span_close(s);
+    if (rec != nullptr) rec->on_span_close(s);
+  });
 
   // Time-series sampler: snapshots the hot counters/gauges every
   // stats.interval of simulated time.
@@ -205,6 +238,7 @@ int main(int argc, char** argv) {
         "kv.repl.under_replicated"}) {
     sampler.watch_gauge(gauge);
   }
+  if (health != nullptr) health->attach(sampler);
 
   std::printf("experiment: fs=%s scheme=%s nodes=%u kv=%u x %s, "
               "workload %u x %s\n",
@@ -268,7 +302,7 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(
             metrics.counter("flowctl.stalls").get()),
         format_duration_ns(
-            metrics.histogram("flowctl.stall_ns").quantile(0.99))
+            metrics.histogram_quantile("flowctl.stall_ns", 0.99).value_or(0))
             .c_str(),
         format_bytes(metrics.counter("flowctl.evicted_bytes").get()).c_str(),
         static_cast<unsigned long long>(
@@ -287,6 +321,28 @@ int main(int argc, char** argv) {
                 format_duration_ns(top.front().e2e_ns()).c_str(),
                 top.front().bottleneck.c_str());
   }
+  if (health != nullptr) {
+    std::printf("health: %zu rules, %llu warns, %llu pages, %llu resolves, "
+                "%zu incident bundles (flightrec dropped %llu)\n",
+                health->rule_count(),
+                static_cast<unsigned long long>(health->warn_count()),
+                static_cast<unsigned long long>(health->page_count()),
+                static_cast<unsigned long long>(health->resolve_count()),
+                health->incidents().size(),
+                static_cast<unsigned long long>(flightrec->dropped_total()));
+    for (const auto& event : health->transitions()) {
+      std::printf("  alert %-8s %s -> %s at %s\n", event.rule.c_str(),
+                  std::string(obs::to_string(event.from)).c_str(),
+                  std::string(obs::to_string(event.to)).c_str(),
+                  format_duration_ns(event.t_ns).c_str());
+    }
+    for (const auto& incident : health->incidents()) {
+      if (!incident.file.empty()) {
+        std::printf("  incident bundle written to %s\n",
+                    incident.file.c_str());
+      }
+    }
+  }
 
   if (const auto out_path = props.get("trace.out")) {
     std::ofstream out(*out_path);
@@ -298,7 +354,7 @@ int main(int argc, char** argv) {
   }
   if (const auto out_path = props.get("metrics.out")) {
     const std::string report =
-        obs::report_json(cluster.sim(), &sampler, &attribution);
+        obs::report_json(cluster.sim(), &sampler, &attribution, health.get());
     if (obs::write_text_file(*out_path, report)) {
       std::printf("metrics report (%s) written to %s\n", obs::kReportSchema,
                   out_path->c_str());

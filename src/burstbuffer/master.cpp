@@ -88,6 +88,9 @@ Master::Master(net::RpcHub& hub, net::NodeId node,
   bind_ports();
   spawn_workers();
   make_scrubber();
+  // Liveness gauge for the SLO engine (slo.master_up_min): 1 while the
+  // master serves, 0 between crash() and a completed restart.
+  sim.metrics().gauge("bb.master_up").set(1);
 }
 
 Master::~Master() { unbind_ports(); }
@@ -230,11 +233,21 @@ void Master::apply_probe_result(std::uint32_t kv_index, bool reachable,
       health.missed >= params_.suspect_after) {
     health.state = PeerState::kSuspect;
     sim.metrics().counter("bb.detector.suspected").add();
+    if (trace_ != nullptr) {
+      trace_->record("detector.suspect.kv" + std::to_string(kv_index),
+                     "detector", static_cast<std::uint32_t>(node_), sim.now(),
+                     sim.now());
+    }
   }
   if (health.state == PeerState::kSuspect &&
       health.missed >= params_.dead_after) {
     health.state = PeerState::kDead;
     sim.metrics().counter("bb.detector.dead").add();
+    if (trace_ != nullptr) {
+      trace_->record("detector.dead.kv" + std::to_string(kv_index),
+                     "detector", static_cast<std::uint32_t>(node_), sim.now(),
+                     sim.now());
+    }
     // Restore the replication factor for everything the dead server held.
     if (recovery_ != nullptr) recovery_->on_server_dead(kv_index);
   }
@@ -281,6 +294,10 @@ void Master::update_health_mode() {
       live < static_cast<std::uint32_t>(kv_servers_.size());
   if (now_degraded == degraded_) return;
   degraded_ = now_degraded;
+  // Level gauges for the SLO engine (slo.degraded_window_max_ns measures an
+  // *open* window as now - bb.degraded_since_ns while bb.degraded is 1).
+  sim.metrics().gauge("bb.degraded").set(degraded_ ? 1 : 0);
+  sim.metrics().gauge("bb.degraded_since_ns").set(degraded_ ? sim.now() : 0);
   if (degraded_) {
     degraded_since_ = sim.now();
     sim.metrics().counter("bb.degraded.entered").add();
@@ -1314,6 +1331,9 @@ void Master::crash() {
   flowctl_.reset_accounting();
   flowctl_.force_urgent(false);
   degraded_ = false;
+  sim.metrics().gauge("bb.master_up").set(0);
+  sim.metrics().gauge("bb.degraded").set(0);
+  sim.metrics().gauge("bb.degraded_since_ns").set(0);
   checkpoint_running_ = false;
   if (journal_ != nullptr) journal_->crash();
   if (scrubber_ != nullptr) {
@@ -1372,6 +1392,7 @@ sim::Task<void> Master::restart_task() {
   crashed_ = false;
   spawn_workers();
   make_scrubber();
+  sim.metrics().gauge("bb.master_up").set(1);
   sim.metrics().histogram("bb.md.recovery_ns").record(sim.now() - start);
   if (trace_ != nullptr) {
     trace_->record("md.recovery", "md", static_cast<std::uint32_t>(node_),

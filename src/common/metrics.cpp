@@ -140,6 +140,38 @@ std::uint64_t MetricRegistry::gauge_value(const std::string& name) const {
   return it == gauges_.end() ? 0 : it->second->get();
 }
 
+std::optional<std::uint64_t> MetricRegistry::find_counter(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it == counters_.end()) return std::nullopt;
+  return it->second->get();
+}
+
+std::optional<GaugeSnapshot> MetricRegistry::find_gauge(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it == gauges_.end()) return std::nullopt;
+  return GaugeSnapshot{it->second->get(), it->second->high_watermark()};
+}
+
+std::optional<HistogramSnapshot> MetricRegistry::find_histogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end() || it->second->count() == 0) return std::nullopt;
+  return it->second->snapshot();
+}
+
+std::optional<std::uint64_t> MetricRegistry::histogram_quantile(
+    const std::string& name, double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end() || it->second->count() == 0) return std::nullopt;
+  return it->second->quantile(q);
+}
+
 std::map<std::string, std::uint64_t> MetricRegistry::counters() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::map<std::string, std::uint64_t> out;

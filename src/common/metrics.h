@@ -10,6 +10,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -141,6 +142,20 @@ class MetricRegistry {
 
   [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
   [[nodiscard]] std::uint64_t gauge_value(const std::string& name) const;
+
+  // Lookups that never create and that distinguish "metric absent" from a
+  // legitimate zero — what alerting needs, where counter_value()'s 0 is
+  // ambiguous. histogram_quantile additionally treats a registered but
+  // never-recorded histogram as nullopt: quantile(q) of zero samples is
+  // "no data", not 0ns.
+  [[nodiscard]] std::optional<std::uint64_t> find_counter(
+      const std::string& name) const;
+  [[nodiscard]] std::optional<GaugeSnapshot> find_gauge(
+      const std::string& name) const;
+  [[nodiscard]] std::optional<HistogramSnapshot> find_histogram(
+      const std::string& name) const;
+  [[nodiscard]] std::optional<std::uint64_t> histogram_quantile(
+      const std::string& name, double q) const;
 
   // All counters as a sorted name -> value map (for reports and tests).
   [[nodiscard]] std::map<std::string, std::uint64_t> counters() const;

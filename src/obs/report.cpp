@@ -4,13 +4,15 @@
 
 #include "common/metrics.h"
 #include "obs/attribution.h"
+#include "obs/health.h"
 #include "obs/json.h"
 #include "obs/sampler.h"
 
 namespace hpcbb::obs {
 
 std::string report_json(sim::Simulation& sim, const TimeSeriesSampler* sampler,
-                        const SpanAccountant* attribution) {
+                        const SpanAccountant* attribution,
+                        const HealthMonitor* health) {
   std::string out = "{\"schema\":\"";
   out += kReportSchema;
   out += "\",\"sim_time_ns\":" + std::to_string(sim.now());
@@ -57,6 +59,9 @@ std::string report_json(sim::Simulation& sim, const TimeSeriesSampler* sampler,
   }
   if (attribution != nullptr) {
     out += ",\"attribution\":" + attribution->to_json();
+  }
+  if (health != nullptr) {
+    out += ",\"health\":" + health->to_json();
   }
   out += "}";
   return out;

@@ -2,10 +2,11 @@
 //
 // report_json() renders the simulation's entire MetricRegistry — counters,
 // gauges (with high-watermarks), histogram summaries (count/sum/min/max/mean
-// and p50/p95/p99) — plus an optional sampled timeline and an optional
-// per-op latency-attribution section into one JSON document. The schema is
-// versioned ("hpcbb.report.v2"; v2 added "attribution") so tools/report.py
-// can pretty-print and diff reports across runs.
+// and p50/p95/p99) — plus an optional sampled timeline, an optional per-op
+// latency-attribution section, and an optional SLO health section into one
+// JSON document. The schema is versioned ("hpcbb.report.v3"; v2 added
+// "attribution", v3 added "health") so tools/report.py can pretty-print and
+// diff reports across runs.
 #pragma once
 
 #include <string>
@@ -16,13 +17,15 @@ namespace hpcbb::obs {
 
 class TimeSeriesSampler;
 class SpanAccountant;
+class HealthMonitor;
 
 // Current report schema identifier, embedded in every report.
-inline constexpr const char* kReportSchema = "hpcbb.report.v2";
+inline constexpr const char* kReportSchema = "hpcbb.report.v3";
 
 [[nodiscard]] std::string report_json(
     sim::Simulation& sim, const TimeSeriesSampler* sampler = nullptr,
-    const SpanAccountant* attribution = nullptr);
+    const SpanAccountant* attribution = nullptr,
+    const HealthMonitor* health = nullptr);
 
 // Writes `content` to `path`; returns false on I/O failure.
 bool write_text_file(const std::string& path, const std::string& content);

@@ -31,6 +31,10 @@ TimeSeriesSampler::TimeSeriesSampler(sim::Simulation& sim,
                                      sim::SimTime interval_ns)
     : sim_(sim), interval_ns_(interval_ns == 0 ? 1 : interval_ns) {}
 
+void TimeSeriesSampler::add_observer(Observer observer) {
+  observers_.push_back(std::move(observer));
+}
+
 void TimeSeriesSampler::add_probe(std::string name, Probe probe) {
   names_.push_back(std::move(name));
   probes_.push_back(std::move(probe));
@@ -60,7 +64,11 @@ void TimeSeriesSampler::stop() {
     sim_.cancel(tick_token_);
     tick_pending_ = false;
   }
-  if (started_) sample_now();
+  if (started_) {
+    in_stop_ = true;
+    sample_now();
+    in_stop_ = false;
+  }
 }
 
 void TimeSeriesSampler::sample_now() {
@@ -70,9 +78,12 @@ void TimeSeriesSampler::sample_now() {
   for (const auto& probe : probes_) point.values.push_back(probe());
   if (!timeline_.empty() && timeline_.back().t_ns == point.t_ns) {
     timeline_.back() = std::move(point);
-    return;
+  } else {
+    timeline_.push_back(std::move(point));
   }
-  timeline_.push_back(std::move(point));
+  for (const Observer& observer : observers_) {
+    observer(timeline_.back(), in_stop_);
+  }
 }
 
 sim::Task<void> TimeSeriesSampler::run_loop() {

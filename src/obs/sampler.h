@@ -40,6 +40,17 @@ class TimeSeriesSampler {
   TimeSeriesSampler(const TimeSeriesSampler&) = delete;
   TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
 
+  // Per-tick observer: runs after every recorded sample — the baseline at
+  // start(), each periodic tick, and the final quiescence sample — with the
+  // point just stored; `final` is true only for the stop() sample. When
+  // stop() lands exactly on a tick boundary the final sample *replaces* the
+  // tick's point, so observers see that timestamp twice (final=false then
+  // final=true) but the timeline keeps one entry. Observers run in
+  // registration order. The health monitor hooks here so sampling and SLO
+  // evaluation share one clock and can never skew.
+  using Observer = std::function<void(const TimelinePoint&, bool final)>;
+  void add_observer(Observer observer);
+
   // Register probes before start(); rows are parallel to registration order.
   void add_probe(std::string name, Probe probe);
   // Convenience probes over the simulation's metric registry.
@@ -80,8 +91,10 @@ class TimeSeriesSampler {
   bool stopped_ = false;
   bool tick_pending_ = false;      // run_loop is suspended on a timer
   std::uint64_t tick_token_ = 0;   // cancellation token for that timer
+  bool in_stop_ = false;           // the sample being taken is the final one
   std::vector<std::string> names_;
   std::vector<Probe> probes_;
+  std::vector<Observer> observers_;
   std::vector<TimelinePoint> timeline_;
 };
 

@@ -162,6 +162,50 @@ TEST(MetricRegistryTest, NamedCountersAreStable) {
   EXPECT_EQ(all.at("a"), 3u);
 }
 
+// The find_* lookups never create and distinguish "absent" from a real 0 —
+// the contract the SLO engine's no-data semantics rest on.
+TEST(MetricRegistryTest, FindLookupsDistinguishAbsentFromZero) {
+  MetricRegistry reg;
+  EXPECT_EQ(reg.find_counter("c"), std::nullopt);
+  EXPECT_EQ(reg.find_gauge("g"), std::nullopt);
+  EXPECT_EQ(reg.find_histogram("h"), std::nullopt);
+  // Lookups created nothing: the registry is still empty.
+  EXPECT_TRUE(reg.counters().empty());
+  EXPECT_TRUE(reg.gauges().empty());
+  EXPECT_TRUE(reg.histograms().empty());
+
+  reg.counter("c");  // registered, value 0 — a real 0, not "no data"
+  reg.gauge("g").set(0);
+  ASSERT_TRUE(reg.find_counter("c").has_value());
+  EXPECT_EQ(*reg.find_counter("c"), 0u);
+  ASSERT_TRUE(reg.find_gauge("g").has_value());
+  EXPECT_EQ(reg.find_gauge("g")->value, 0u);
+
+  reg.counter("c").add(7);
+  reg.gauge("g").set(9);
+  reg.gauge("g").set(2);
+  reg.histogram("h").record(1000);
+  EXPECT_EQ(*reg.find_counter("c"), 7u);
+  EXPECT_EQ(reg.find_gauge("g")->value, 2u);
+  EXPECT_EQ(reg.find_gauge("g")->high_watermark, 9u);
+  ASSERT_TRUE(reg.find_histogram("h").has_value());
+  EXPECT_EQ(reg.find_histogram("h")->count, 1u);
+}
+
+TEST(MetricRegistryTest, HistogramQuantileIsNulloptUntilFirstSample) {
+  MetricRegistry reg;
+  // Absent histogram: no data.
+  EXPECT_EQ(reg.histogram_quantile("lat", 0.99), std::nullopt);
+  // Registered but never recorded: quantile of zero samples is still "no
+  // data", not 0ns.
+  reg.histogram("lat");
+  EXPECT_EQ(reg.histogram_quantile("lat", 0.99), std::nullopt);
+  reg.histogram("lat").record(5000);
+  const auto p99 = reg.histogram_quantile("lat", 0.99);
+  ASSERT_TRUE(p99.has_value());
+  EXPECT_GE(*p99, 5000u);
+}
+
 TEST(MetricRegistryTest, ResetZeroesAll) {
   MetricRegistry reg;
   reg.counter("x").add(5);

@@ -179,7 +179,7 @@ TEST(SpanAccountantTest, ReportV2EmbedsAttributionSection) {
   trace.record("flowctl.stall", "flowctl", 0, 100, 700, 1);
 
   const std::string report = report_json(sim, nullptr, &acc);
-  EXPECT_NE(report.find("\"schema\":\"hpcbb.report.v2\""), std::string::npos);
+  EXPECT_NE(report.find("\"schema\":\"hpcbb.report.v3\""), std::string::npos);
   EXPECT_NE(report.find("\"attribution\":"), std::string::npos);
   EXPECT_NE(report.find("\"op_count\":1"), std::string::npos);
   EXPECT_NE(report.find("\"layers\":"), std::string::npos);

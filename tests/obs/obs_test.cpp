@@ -2,7 +2,9 @@
 // machine-readable report schema.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/units.h"
@@ -89,6 +91,74 @@ TEST(SamplerTest, StopOnTickBoundaryKeepsOnePointAndDoesNotOvershoot) {
     EXPECT_EQ(points[2].t_ns, 200 * us);
     // The cancelled trailing tick must not advance the clock to 300us.
     EXPECT_EQ(sim.now(), 200 * us) << "stop_before_tick=" << stop_before_tick;
+  }
+}
+
+// Observers fire in registration order on every recorded sample, and the
+// stop() sample is the only one flagged final. When stop() lands exactly on
+// a tick boundary the observers see that timestamp twice (tick first,
+// final=true second) even though the timeline keeps one point — the
+// contract the health monitor's per-timestamp dedup is written against.
+// Both boundary interleavings are covered, as in the test above.
+TEST(SamplerTest, ObserversFireInOrderAndFinalOnlyAtStop) {
+  for (const bool stop_before_tick : {true, false}) {
+    struct Firing {
+      int observer;
+      sim::SimTime t_ns;
+      bool final_sample;
+    };
+    Simulation sim;
+    TimeSeriesSampler sampler(sim, 100 * us);
+    sampler.watch_counter("ops");
+    std::vector<Firing> firings;
+    sampler.add_observer([&firings](const TimelinePoint& p, bool f) {
+      firings.push_back({0, p.t_ns, f});
+    });
+    sampler.add_observer([&firings](const TimelinePoint& p, bool f) {
+      firings.push_back({1, p.t_ns, f});
+    });
+    const auto workload = [stop_before_tick](
+                              Simulation& s,
+                              TimeSeriesSampler& sam) -> Task<void> {
+      sam.start();
+      if (stop_before_tick) {
+        co_await s.delay(200 * us);
+      } else {
+        co_await s.delay(150 * us);
+        co_await s.delay(50 * us);
+      }
+      sam.stop();
+    };
+    sim.spawn(workload(sim, sampler));
+    sim.run();
+
+    // Samples at t=0 (baseline), t=100us (tick), t=200us (tick and/or
+    // final): when the tick fires before stop(), t=200us is seen twice.
+    const std::size_t samples = stop_before_tick ? 3u : 4u;
+    ASSERT_EQ(firings.size(), 2 * samples)
+        << "stop_before_tick=" << stop_before_tick;
+    ASSERT_EQ(sampler.timeline().size(), 3u);  // one point per timestamp
+    int finals[2] = {0, 0};
+    for (std::size_t i = 0; i < firings.size(); i += 2) {
+      // Registration order within each sample, same point for both.
+      EXPECT_EQ(firings[i].observer, 0) << "at firing " << i;
+      EXPECT_EQ(firings[i + 1].observer, 1) << "at firing " << i;
+      EXPECT_EQ(firings[i].t_ns, firings[i + 1].t_ns);
+      EXPECT_EQ(firings[i].final_sample, firings[i + 1].final_sample);
+      finals[0] += firings[i].final_sample ? 1 : 0;
+      finals[1] += firings[i + 1].final_sample ? 1 : 0;
+    }
+    EXPECT_EQ(finals[0], 1);
+    EXPECT_EQ(finals[1], 1);
+    // The final firing is the last one, at the stop timestamp.
+    EXPECT_TRUE(firings.back().final_sample);
+    EXPECT_EQ(firings.back().t_ns, 200 * us);
+    if (!stop_before_tick) {
+      // Tick fired first at t=200us with final=false, then the stop()
+      // sample replaced the point and re-fired with final=true.
+      EXPECT_EQ(firings[firings.size() - 3].t_ns, 200 * us);
+      EXPECT_FALSE(firings[firings.size() - 3].final_sample);
+    }
   }
 }
 
@@ -180,7 +250,7 @@ TEST(ReportTest, SchemaShape) {
   sim.run();
 
   const std::string report = report_json(sim, &sampler);
-  EXPECT_NE(report.find("\"schema\":\"hpcbb.report.v2\""), std::string::npos);
+  EXPECT_NE(report.find("\"schema\":\"hpcbb.report.v3\""), std::string::npos);
   EXPECT_NE(report.find("\"sim_time_ns\":"), std::string::npos);
   EXPECT_NE(report.find("\"counters\":"), std::string::npos);
   EXPECT_NE(report.find("\"net.tx_bytes\":4096"), std::string::npos);
@@ -203,7 +273,7 @@ TEST(ReportTest, NoSamplerMeansNoTimeline) {
   Simulation sim;
   sim.metrics().counter("x").add(1);
   const std::string report = report_json(sim);
-  EXPECT_NE(report.find("\"schema\":\"hpcbb.report.v2\""), std::string::npos);
+  EXPECT_NE(report.find("\"schema\":\"hpcbb.report.v3\""), std::string::npos);
   EXPECT_EQ(report.find("\"timeline\":"), std::string::npos);
   EXPECT_EQ(report.find("\"attribution\":"), std::string::npos);
 }

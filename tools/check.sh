@@ -49,7 +49,7 @@ if [[ "${chaos}" == 1 ]]; then
   echo "== chaos: configure (Sanitize) =="
   cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=Sanitize
   echo "== chaos: build =="
-  cmake --build build-sanitize -j "${jobs}" --target resilience_test repl_test integrity_test master_recovery_test bench_a4_chaos
+  cmake --build build-sanitize -j "${jobs}" --target resilience_test repl_test integrity_test master_recovery_test health_test bench_a4_chaos
   echo "== chaos: ctest -L chaos =="
   ctest --test-dir build-sanitize --output-on-failure -j "${jobs}" -L chaos
   echo "== chaos: bench_a4_chaos smoke (seeded) =="

@@ -1,24 +1,31 @@
 #!/usr/bin/env python3
-"""Pretty-print and diff hpcbb experiment reports (hpcbb.report.v1/v2).
+"""Pretty-print and diff hpcbb experiment reports (hpcbb.report.v1/v2/v3).
 
 Usage:
     tools/report.py show report.json
     tools/report.py diff baseline.json candidate.json
+    tools/report.py incidents bundle.json [more.json ...]
 
 `show` renders counters, gauges (with high-watermarks), histogram
-summaries, and (v2) the latency-attribution section — per-layer time with
+summaries, (v2) the latency-attribution section — per-layer time with
 its queue/service split plus the slowest ops and their bottleneck layers —
-as aligned tables. `diff` compares two reports metric-by-metric and prints
-absolute and relative deltas, flagging metrics present in only one report.
-Exit status for `diff` is 0 even when values differ — it is a reporting
-tool, not a gate (see tools/bench_gate.py for the gate).
+and (v3) the SLO health section as aligned tables. `diff` compares two
+reports metric-by-metric and prints absolute and relative deltas, flagging
+metrics present in only one report; when only one side has a health
+section it prints "n/a" for it instead of failing. `incidents` renders
+hpcbb.incident.v1 bundles (or the incident timeline of v3 reports): the
+alert timeline, the rule -> injected-fault correlation, and the suspect
+op_ids in flight when each fault hit. Exit status for `diff` is 0 even
+when values differ — it is a reporting tool, not a gate (see
+tools/bench_gate.py for the gate).
 """
 
 import argparse
 import json
 import sys
 
-SCHEMAS = ("hpcbb.report.v1", "hpcbb.report.v2")
+SCHEMAS = ("hpcbb.report.v1", "hpcbb.report.v2", "hpcbb.report.v3")
+INCIDENT_SCHEMA = "hpcbb.incident.v1"
 
 # Counters surfaced in the dedicated resilience section (retry/timeout
 # behaviour, injected faults, failover and failure-detector activity).
@@ -171,6 +178,37 @@ def show(report):
     if attribution:
         show_attribution(attribution)
 
+    health = report.get("health")
+    if health:
+        show_health(health)
+
+
+def show_health(health):
+    rules = health.get("rules", [])
+    print(f"\nhealth: {len(rules)} rules, {health.get('warns', 0)} warns, "
+          f"{health.get('pages', 0)} pages, {health.get('resolves', 0)} "
+          f"resolves")
+    if rules:
+        width = max(max(len(r["name"]) for r in rules), 4)
+        print(f"  {'rule':<{width}}  {'kind':<19}  {'state':<5}  "
+              f"{'value':>14}  {'threshold':>14}  fast-burn  slow-burn")
+        for r in rules:
+            print(f"  {r['name']:<{width}}  {r['kind']:<19}  "
+                  f"{r['state']:<5}  {r['value']:>14,.0f}  "
+                  f"{r['threshold']:>14,.0f}  {r['fast_burn']:>9.2f}  "
+                  f"{r['slow_burn']:>9.2f}")
+    transitions = health.get("transitions", [])
+    if transitions:
+        print("\n  alert timeline:")
+        for t in transitions:
+            print(f"    {fmt_ns(t['t_ns']):>10}  {t['rule']:<24}  "
+                  f"{t['from']} -> {t['to']}  (fast {t['fast_burn']:.2f}, "
+                  f"slow {t['slow_burn']:.2f})")
+    incidents = health.get("incidents", [])
+    for inc in incidents:
+        where = inc.get("file") or "(in memory)"
+        print(f"  incident: {inc['rule']} at {fmt_ns(inc['t_ns'])} -> {where}")
+
 
 def show_attribution(attribution):
     layers = attribution.get("layers", {})
@@ -269,6 +307,108 @@ def diff(baseline, candidate):
                  baseline.get("attribution", {}).get("layers", {}),
                  candidate.get("attribution", {}).get("layers", {}),
                  lambda a, b: (a["queue_ns"], b["queue_ns"]))
+    diff_health(baseline, candidate)
+
+
+def diff_health(baseline, candidate):
+    """Health is optional (v3, and only with slo.* rules configured): a
+    one-sided section is schema drift to report, never a crash."""
+    b, c = baseline.get("health"), candidate.get("health")
+    if b is None and c is None:
+        return
+    if b is None or c is None:
+        print("\nhealth: n/a (section missing in one report)")
+        return
+    print(f"\nhealth: warns {b.get('warns', 0)} -> {c.get('warns', 0)}, "
+          f"pages {b.get('pages', 0)} -> {c.get('pages', 0)}, "
+          f"resolves {b.get('resolves', 0)} -> {c.get('resolves', 0)}")
+    b_rules = {r["name"]: r for r in b.get("rules", [])}
+    c_rules = {r["name"]: r for r in c.get("rules", [])}
+    names = sorted(set(b_rules) | set(c_rules))
+    width = max(map(len, names), default=4)
+    for name in names:
+        if name not in b_rules:
+            print(f"  {name:<{width}}  only in candidate")
+        elif name not in c_rules:
+            print(f"  {name:<{width}}  only in baseline")
+        else:
+            sa, sb = b_rules[name]["state"], c_rules[name]["state"]
+            ta = b_rules[name].get("breach_ticks", 0)
+            tb = c_rules[name].get("breach_ticks", 0)
+            if sa != sb or ta != tb:
+                print(f"  {name:<{width}}  state {sa} -> {sb}, "
+                      f"breach_ticks {ta:,} -> {tb:,}")
+
+
+def show_incident(path, doc):
+    print(f"== {path} ==")
+    print(f"incident {doc.get('seq', '?')}: rule {doc['rule']} "
+          f"({doc.get('kind', '?')}) paged at {fmt_ns(doc['t_ns'])}  "
+          f"value {doc.get('value', 0):,.0f} vs threshold "
+          f"{doc.get('threshold', 0):,.0f}  "
+          f"(fast burn {doc.get('fast_burn', 0):.2f}, "
+          f"slow {doc.get('slow_burn', 0):.2f})")
+
+    alerts = doc.get("alerts", [])
+    if alerts:
+        print("  alert timeline:")
+        for a in alerts:
+            print(f"    {fmt_ns(a['t_ns']):>10}  {a['rule']:<24}  "
+                  f"{a['from']} -> {a['to']}")
+
+    # The correlation a post-mortem starts from: which injected faults are
+    # still in the flight recorder, and which op_ids were in flight.
+    faults = doc.get("faults", [])
+    suspects = doc.get("suspect_op_ids", [])
+    if faults:
+        print(f"  injected faults in window ({len(faults)}):")
+        for f in faults:
+            print(f"    {fmt_ns(f['t_ns']):>10}  {f['name']}")
+    else:
+        print("  injected faults in window: none recorded")
+    if suspects:
+        print(f"  suspect op_ids in flight at fault time: "
+              f"{', '.join(map(str, suspects))}")
+
+    rec = doc.get("flightrec")
+    if rec:
+        rings = rec.get("rings", {})
+        parts = ", ".join(f"{name} {len(ring.get('entries', []))}"
+                          f" (dropped {ring.get('dropped', 0):,})"
+                          for name, ring in sorted(rings.items()))
+        print(f"  flight recorder: {parts or 'empty'}  "
+              f"[total dropped {rec.get('dropped', 0):,}]")
+
+    timeline = doc.get("timeline")
+    if timeline:
+        print(f"  timeline tail: {len(timeline.get('points', []))} samples x "
+              f"{len(timeline.get('series', []))} series")
+    for op in doc.get("slowest_ops", []):
+        print(f"  slow op {op['op_id']}: e2e {fmt_ns(op['e2e_ns'])}  "
+              f"bottleneck {op.get('bottleneck', '-')}")
+
+
+def incidents(paths):
+    """Render incident bundles; v3 reports render their health section."""
+    for i, path in enumerate(paths):
+        if i:
+            print()
+        with open(path) as f:
+            doc = json.load(f)
+        schema = doc.get("schema")
+        if schema == INCIDENT_SCHEMA:
+            show_incident(path, doc)
+        elif schema in SCHEMAS:
+            print(f"== {path} ==")
+            health = doc.get("health")
+            if health:
+                show_health(health)
+            else:
+                print("no health section (report predates slo.* rules "
+                      "or none were configured)")
+        else:
+            sys.exit(f"{path}: unsupported schema {schema!r} (want "
+                     f"{INCIDENT_SCHEMA} or a report schema)")
 
 
 def main():
@@ -279,10 +419,15 @@ def main():
     p_diff = sub.add_parser("diff", help="compare two reports")
     p_diff.add_argument("baseline")
     p_diff.add_argument("candidate")
+    p_inc = sub.add_parser(
+        "incidents", help="render hpcbb.incident.v1 bundles / health sections")
+    p_inc.add_argument("bundles", nargs="+")
     args = parser.parse_args()
 
     if args.command == "show":
         show(load(args.report))
+    elif args.command == "incidents":
+        incidents(args.bundles)
     else:
         diff(load(args.baseline), load(args.candidate))
 
